@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+// The extractor-free experiments run end to end through the CLI glue.
+func TestRunLengthExperiment(t *testing.T) {
+	if err := run("length", "", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable1Experiment(t *testing.T) {
+	if err := run("table1", "", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run("nosuch", "", 0); err == nil {
+		t.Fatal("accepted unknown experiment")
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"clockrlc/internal/geom"
+	"clockrlc/internal/table"
+	"clockrlc/internal/units"
+)
+
+func TestRunWithPrebuiltTables(t *testing.T) {
+	cfg := table.Config{
+		Name:      "t/coplanar",
+		Thickness: units.Um(2),
+		Rho:       units.RhoCopper,
+		Shielding: geom.ShieldNone,
+		Frequency: units.SignificantFrequency(50e-12),
+	}
+	axes := table.Axes{
+		Widths:   table.LogAxis(units.Um(1), units.Um(12), 3),
+		Spacings: table.LogAxis(units.Um(0.5), units.Um(4), 3),
+		Lengths:  table.LogAxis(units.Um(500), units.Um(4000), 3),
+	}
+	set, err := table.Build(cfg, axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "set.json")
+	if err := set.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(2000, 8, 4, 1, "coplanar", 2, 2, 50, path, true, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadShield(t *testing.T) {
+	if err := run(2000, 8, 4, 1, "bogus", 2, 2, 50, "", false, 4); err == nil {
+		t.Error("accepted unknown shielding")
+	}
+}

@@ -1,0 +1,107 @@
+// Command tablegen precomputes an inductance table set (Section III of
+// the paper) for a layer and shielding configuration and writes it as
+// JSON for later use by rlcx/treesim or the library.
+//
+// Example:
+//
+//	tablegen -out m6_cpw.json -thickness 2 -rho cu -shield coplanar \
+//	    -tr 50 -wmin 1 -wmax 14 -nw 5 -smin 0.5 -smax 22 -ns 6 \
+//	    -lmin 50 -lmax 8000 -nl 8
+//
+// All geometric flags are in microns; -tr is the minimum signal rise
+// time in picoseconds (the extraction runs at 0.32/tr).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"clockrlc/internal/geom"
+	"clockrlc/internal/table"
+	"clockrlc/internal/units"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "tables.json", "output file")
+		name      = flag.String("name", "layer", "table set name")
+		thickness = flag.Float64("thickness", 2, "layer metal thickness (µm)")
+		rhoName   = flag.String("rho", "cu", "metal: cu or al, or a resistivity in Ω·m")
+		shield    = flag.String("shield", "coplanar", "shielding: coplanar, microstrip, stripline")
+		planeGap  = flag.Float64("planegap", 2, "dielectric gap to the ground plane (µm)")
+		planeT    = flag.Float64("planethickness", 1, "ground plane thickness (µm)")
+		tr        = flag.Float64("tr", 50, "minimum rise time (ps); extraction at 0.32/tr")
+		wmin      = flag.Float64("wmin", 1, "minimum width (µm)")
+		wmax      = flag.Float64("wmax", 14, "maximum width (µm)")
+		nw        = flag.Int("nw", 5, "width points")
+		smin      = flag.Float64("smin", 0.5, "minimum spacing (µm)")
+		smax      = flag.Float64("smax", 22, "maximum spacing (µm)")
+		ns        = flag.Int("ns", 6, "spacing points")
+		lmin      = flag.Float64("lmin", 50, "minimum length (µm)")
+		lmax      = flag.Float64("lmax", 8000, "maximum length (µm)")
+		nl        = flag.Int("nl", 8, "length points")
+	)
+	flag.Parse()
+
+	if err := run(*out, *name, *thickness, *rhoName, *shield, *planeGap, *planeT,
+		*tr, *wmin, *wmax, *nw, *smin, *smax, *ns, *lmin, *lmax, *nl); err != nil {
+		fmt.Fprintln(os.Stderr, "tablegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, name string, thickness float64, rhoName, shield string,
+	planeGap, planeT, tr, wmin, wmax float64, nw int, smin, smax float64,
+	ns int, lmin, lmax float64, nl int) error {
+	var rho float64
+	switch rhoName {
+	case "cu":
+		rho = units.RhoCopper
+	case "al":
+		rho = units.RhoAluminum
+	default:
+		if _, err := fmt.Sscanf(rhoName, "%g", &rho); err != nil {
+			return fmt.Errorf("bad -rho %q", rhoName)
+		}
+	}
+	var sh geom.Shielding
+	switch shield {
+	case "coplanar":
+		sh = geom.ShieldNone
+	case "microstrip":
+		sh = geom.ShieldMicrostrip
+	case "stripline":
+		sh = geom.ShieldStripline
+	default:
+		return fmt.Errorf("bad -shield %q", shield)
+	}
+	cfg := table.Config{
+		Name:           name + "/" + shield,
+		Thickness:      units.Um(thickness),
+		Rho:            rho,
+		Shielding:      sh,
+		PlaneGap:       units.Um(planeGap),
+		PlaneThickness: units.Um(planeT),
+		Frequency:      units.SignificantFrequency(tr * units.PicoSecond),
+	}
+	axes := table.Axes{
+		Widths:   table.LogAxis(units.Um(wmin), units.Um(wmax), nw),
+		Spacings: table.LogAxis(units.Um(smin), units.Um(smax), ns),
+		Lengths:  table.LogAxis(units.Um(lmin), units.Um(lmax), nl),
+	}
+	fmt.Printf("building %s tables at %.2f GHz: %d self entries, %d mutual entries\n",
+		cfg.Name, cfg.Frequency/1e9,
+		nw*nl, nw*nw*ns*nl)
+	start := time.Now()
+	set, err := table.Build(cfg, axes)
+	if err != nil {
+		return err
+	}
+	if err := set.SaveFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s in %v\n", out, time.Since(start).Round(time.Millisecond))
+	return nil
+}

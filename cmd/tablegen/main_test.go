@@ -1,0 +1,39 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"clockrlc/internal/table"
+)
+
+func TestRunBuildsLoadableTables(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "set.json")
+	err := run(out, "m6", 2, "cu", "coplanar", 2, 1,
+		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := table.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Config.Name != "m6/coplanar" {
+		t.Errorf("set name %q", set.Config.Name)
+	}
+	if _, err := set.SelfL(2e-6, 500e-6); err != nil {
+		t.Errorf("lookup failed: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "set.json")
+	if err := run(out, "m6", 2, "unobtainium", "coplanar", 2, 1,
+		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3); err == nil {
+		t.Error("accepted unknown metal")
+	}
+	if err := run(out, "m6", 2, "cu", "waveguide", 2, 1,
+		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3); err == nil {
+		t.Error("accepted unknown shielding")
+	}
+}

@@ -1,0 +1,3 @@
+module clockrlc
+
+go 1.22

@@ -1,0 +1,263 @@
+// Package clocktree implements Section V of the paper: RLC extraction
+// and skew simulation of a buffered H-tree clock distribution network
+// (Fig. 7), with each wire segment realised as a shielded building
+// block — coplanar waveguide (Fig. 8) or microstrip (Fig. 9) — and the
+// passive portion between buffer levels formulated as cascaded
+// RLC-segment ladders using the table-based loop inductances.
+//
+// The clock buffers follow the paper's driver model: a Thevenin source
+// (series resistance, the "about 40 ohm" of Fig. 1) launching a ramp,
+// plus an input capacitance loading the upstream stage and an
+// intrinsic delay. Stages are linear, so the tree is simulated stage
+// by stage and arrivals accumulate along root-to-leaf paths.
+package clocktree
+
+import (
+	"errors"
+	"fmt"
+
+	"clockrlc/internal/core"
+	"clockrlc/internal/netlist"
+	"clockrlc/internal/sim"
+)
+
+// Buffer is the clock buffer model.
+type Buffer struct {
+	// DriveRes is the Thevenin output resistance in Ω.
+	DriveRes float64
+	// InputCap is the capacitance a buffer input presents, in F.
+	InputCap float64
+	// IntrinsicDelay is added per buffer stage, in s.
+	IntrinsicDelay float64
+	// OutSlew is the output ramp's 0–100 % rise time, in s.
+	OutSlew float64
+}
+
+// Validate checks the buffer model.
+func (b Buffer) Validate() error {
+	if b.DriveRes <= 0 || b.InputCap <= 0 || b.OutSlew <= 0 || b.IntrinsicDelay < 0 {
+		return fmt.Errorf("clocktree: buffer fields out of range: %+v", b)
+	}
+	return nil
+}
+
+// Level describes the wire geometry of one buffer level's H: the
+// trunk runs from the driving buffer sideways to the two split points,
+// the arms from each split point to the four receiving buffers.
+type Level struct {
+	TrunkLen, ArmLen float64
+	Segment          core.Segment // Length is ignored; widths/spacing/shielding used
+}
+
+// Tree is a buffered H-tree clock network.
+type Tree struct {
+	Levels []Level
+	Buffer Buffer
+	Ext    *core.Extractor
+}
+
+// NewTree assembles and validates a tree.
+func NewTree(levels []Level, buf Buffer, ext *core.Extractor) (*Tree, error) {
+	if len(levels) == 0 {
+		return nil, errors.New("clocktree: need at least one level")
+	}
+	if err := buf.Validate(); err != nil {
+		return nil, err
+	}
+	if ext == nil {
+		return nil, errors.New("clocktree: nil extractor")
+	}
+	for i, l := range levels {
+		if l.TrunkLen <= 0 || l.ArmLen <= 0 {
+			return nil, fmt.Errorf("clocktree: level %d has non-positive wire lengths", i)
+		}
+		s := l.Segment
+		s.Length = l.TrunkLen
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("clocktree: level %d: %w", i, err)
+		}
+	}
+	return &Tree{Levels: levels, Buffer: buf, Ext: ext}, nil
+}
+
+// HTreeLevels builds a classic H-tree level stack for a die of the
+// given half-span: level ℓ's trunk reaches halfSpan/2^ℓ and its arms
+// half of that, halving each level. All levels share the segment
+// profile (widths typically taper in real designs; callers can edit
+// the returned slice).
+func HTreeLevels(halfSpan float64, nLevels int, seg core.Segment) []Level {
+	levels := make([]Level, nLevels)
+	span := halfSpan
+	for i := range levels {
+		levels[i] = Level{TrunkLen: span, ArmLen: span / 2, Segment: seg}
+		span /= 2
+	}
+	return levels
+}
+
+// SimOptions controls a tree simulation.
+type SimOptions struct {
+	// WithL selects the RLC netlist; false extracts RC only (the
+	// paper's comparison baseline).
+	WithL bool
+	// Sections per segment ladder (default 6).
+	Sections int
+	// TimeStep and Horizon for each stage transient (defaults
+	// OutSlew/100 and 40·OutSlew).
+	TimeStep, Horizon float64
+	// Scale optionally perturbs a stage instance's extracted R, C and
+	// L by the given multipliers (process variation). The paper's
+	// proposal keeps L at 1 while R and C vary; setting the third
+	// entry exercises the full variation for comparison. Indexed by
+	// stage instance id as produced by Arrivals; nil means nominal
+	// everywhere.
+	Scale map[int][3]float64
+	// LeafLoadScale optionally scales the load capacitance of
+	// individual leaves (keyed by leaf index) to model sink load
+	// imbalance.
+	LeafLoadScale map[int]float64
+}
+
+func (o SimOptions) withDefaults(buf Buffer) SimOptions {
+	if o.Sections <= 0 {
+		o.Sections = 6
+	}
+	if o.TimeStep <= 0 {
+		o.TimeStep = buf.OutSlew / 100
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 40 * buf.OutSlew
+	}
+	return o
+}
+
+// stageDelays simulates one buffer stage: the driver at the H centre,
+// two trunk ladders, four arm ladders, four sink loads. It returns
+// the four sink 50 % arrival times measured from the stage's launch.
+func (t *Tree) stageDelays(levelIdx, stageID int, opts SimOptions, leafBase int, isLeaf bool) ([4]float64, error) {
+	var delays [4]float64
+	lv := t.Levels[levelIdx]
+	nl := netlist.New()
+	nl.AddV("vsrc", "drv", netlist.Ground, netlist.Ramp{V0: 0, V1: 1, Start: opts.TimeStep, Rise: t.Buffer.OutSlew})
+	nl.AddR("rdrv", "drv", "r", t.Buffer.DriveRes)
+
+	extract := func(length float64) (netlist.SegmentRLC, error) {
+		s := lv.Segment
+		s.Length = length
+		var rlc netlist.SegmentRLC
+		var err error
+		if opts.WithL {
+			rlc, err = t.Ext.SegmentRLC(s)
+		} else {
+			rlc, err = t.Ext.SegmentRCOnly(s)
+		}
+		if err != nil {
+			return rlc, err
+		}
+		if sc, ok := opts.Scale[stageID]; ok {
+			rlc.R *= sc[0]
+			rlc.C *= sc[1]
+			rlc.L *= sc[2]
+		}
+		return rlc, nil
+	}
+	trunk, err := extract(lv.TrunkLen)
+	if err != nil {
+		return delays, err
+	}
+	arm, err := extract(lv.ArmLen)
+	if err != nil {
+		return delays, err
+	}
+	if _, err := nl.AddLadder("tl", "r", "L", trunk, opts.Sections); err != nil {
+		return delays, err
+	}
+	if _, err := nl.AddLadder("tr", "r", "R", trunk, opts.Sections); err != nil {
+		return delays, err
+	}
+	sinks := []string{"s0", "s1", "s2", "s3"}
+	splits := []string{"L", "L", "R", "R"}
+	for i, s := range sinks {
+		if _, err := nl.AddLadder("a"+s, splits[i], s, arm, opts.Sections); err != nil {
+			return delays, err
+		}
+		load := t.Buffer.InputCap
+		if isLeaf {
+			if sc, ok := opts.LeafLoadScale[leafBase+i]; ok {
+				load *= sc
+			}
+		}
+		nl.AddC("c"+s, s, netlist.Ground, load)
+	}
+	res, err := sim.Transient(nl, opts.TimeStep, opts.Horizon, sinks)
+	if err != nil {
+		return delays, fmt.Errorf("clocktree: stage %d (level %d): %w", stageID, levelIdx, err)
+	}
+	for i, s := range sinks {
+		v, err := res.Waveform(s)
+		if err != nil {
+			return delays, err
+		}
+		d, err := sim.DelayFromT0(res.Time, v, 0, 1)
+		if err != nil {
+			return delays, fmt.Errorf("clocktree: stage %d sink %s never switches (horizon too short?): %w", stageID, s, err)
+		}
+		// Remove the launch offset (the source starts one time step in).
+		delays[i] = d - opts.TimeStep
+	}
+	return delays, nil
+}
+
+// Arrivals simulates the full tree and returns the clock arrival time
+// at every leaf (4^levels leaves, indexed in H-order), including
+// buffer intrinsic delays. Stage instance ids are assigned in BFS
+// order starting at 0 for the root stage; ids are stable for use with
+// SimOptions.RCScale.
+func (t *Tree) Arrivals(opts SimOptions) ([]float64, error) {
+	opts = opts.withDefaults(t.Buffer)
+	type job struct {
+		level   int
+		arrival float64
+	}
+	frontier := []job{{0, t.Buffer.IntrinsicDelay}}
+	stageID := 0
+	nLeaves := 1
+	for range t.Levels {
+		nLeaves *= 4
+	}
+	leafBase := 0
+	var arrivals []float64
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		isLeaf := cur.level == len(t.Levels)-1
+		d, err := t.stageDelays(cur.level, stageID, opts, leafBase, isLeaf)
+		if err != nil {
+			return nil, err
+		}
+		stageID++
+		for i := 0; i < 4; i++ {
+			at := cur.arrival + d[i]
+			if isLeaf {
+				arrivals = append(arrivals, at)
+				leafBase++
+			} else {
+				frontier = append(frontier, job{cur.level + 1, at + t.Buffer.IntrinsicDelay})
+			}
+		}
+	}
+	if len(arrivals) != nLeaves {
+		return nil, fmt.Errorf("clocktree: produced %d arrivals, expected %d", len(arrivals), nLeaves)
+	}
+	return arrivals, nil
+}
+
+// Skew runs Arrivals and reduces to the skew (max − min arrival).
+func (t *Tree) Skew(opts SimOptions) (float64, error) {
+	arr, err := t.Arrivals(opts)
+	if err != nil {
+		return 0, err
+	}
+	s, _, _ := sim.Skew(arr)
+	return s, nil
+}

@@ -1,0 +1,415 @@
+// Package core implements the paper's extraction methodology: given a
+// clocktree segment's geometry and shielding configuration, produce
+// its R, L and C by
+//
+//   - analytic resistance at the significant frequency (Section V:
+//     "resistance is calculated analytically"),
+//   - capacitance from the pre-characterised 3-trace models with the
+//     grounded-coupling assumption (Section VI),
+//   - inductance by composing the pre-computed self/mutual tables of
+//     Section III into the segment's loop inductance,
+//
+// and formulate RLC netlists for blocks of N parallel wires — either
+// the loop formulation (grounds folded into the return, one inductor
+// per section) or the partial formulation (every trace an inductor
+// ladder with mutual K couplings, letting the simulator determine the
+// return path, per Section II).
+package core
+
+import (
+	"fmt"
+
+	"clockrlc/internal/capmodel"
+	"clockrlc/internal/geom"
+	"clockrlc/internal/loop"
+	"clockrlc/internal/netlist"
+	"clockrlc/internal/peec"
+	"clockrlc/internal/resist"
+	"clockrlc/internal/table"
+	"clockrlc/internal/units"
+)
+
+// Technology collects the per-layer process quantities extraction
+// needs. All lengths in metres.
+type Technology struct {
+	// Thickness is the routing layer's metal thickness.
+	Thickness float64
+	// Rho is the metal resistivity (Ω·m).
+	Rho float64
+	// EpsRel is the inter-layer dielectric constant.
+	EpsRel float64
+	// CapHeight is the dielectric height between the trace bottom and
+	// the capacitive reference below (the orthogonal layer N−1 or a
+	// ground plane).
+	CapHeight float64
+	// PlaneGap and PlaneThickness describe the inductive ground plane
+	// in layer N−2 (and N+2 for stripline) used by the shielded
+	// configurations.
+	PlaneGap, PlaneThickness float64
+}
+
+// Validate checks the technology is usable.
+func (t Technology) Validate() error {
+	if t.Thickness <= 0 || t.Rho <= 0 || t.EpsRel <= 0 || t.CapHeight <= 0 {
+		return fmt.Errorf("core: technology fields must be positive: %+v", t)
+	}
+	return nil
+}
+
+// Segment describes one clocktree wire segment: a signal trace guarded
+// by two ground traces (Fig. 8/9), optionally over ground plane(s).
+type Segment struct {
+	Length      float64
+	SignalWidth float64
+	GroundWidth float64
+	Spacing     float64 // edge-to-edge signal↔ground
+	Shielding   geom.Shielding
+}
+
+// Validate checks the segment geometry.
+func (s Segment) Validate() error {
+	if s.Length <= 0 || s.SignalWidth <= 0 || s.GroundWidth <= 0 || s.Spacing <= 0 {
+		return fmt.Errorf("core: segment dimensions must be positive: %+v", s)
+	}
+	return nil
+}
+
+// Extractor performs table-based RLC extraction for one layer of a
+// technology.
+type Extractor struct {
+	Tech Technology
+	// Frequency is the significant frequency (0.32/tr) extraction
+	// runs at.
+	Frequency float64
+	tables    map[geom.Shielding]*table.Set
+}
+
+// NewExtractor builds the inductance tables for the requested
+// shielding configurations (nil selects ShieldNone and
+// ShieldMicrostrip) over the given axes and returns a ready extractor.
+func NewExtractor(tech Technology, freq float64, axes table.Axes, shieldings []geom.Shielding) (*Extractor, error) {
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	if freq <= 0 {
+		return nil, fmt.Errorf("core: frequency must be positive, got %g", freq)
+	}
+	if shieldings == nil {
+		shieldings = []geom.Shielding{geom.ShieldNone, geom.ShieldMicrostrip}
+	}
+	e := &Extractor{Tech: tech, Frequency: freq, tables: map[geom.Shielding]*table.Set{}}
+	for _, sh := range shieldings {
+		cfg := table.Config{
+			Name:           fmt.Sprintf("layer/%v", sh),
+			Thickness:      tech.Thickness,
+			Rho:            tech.Rho,
+			Shielding:      sh,
+			PlaneGap:       tech.PlaneGap,
+			PlaneThickness: tech.PlaneThickness,
+			Frequency:      freq,
+		}
+		set, err := table.Build(cfg, axes)
+		if err != nil {
+			return nil, fmt.Errorf("core: building %v tables: %w", sh, err)
+		}
+		e.tables[sh] = set
+	}
+	return e, nil
+}
+
+// NewExtractorFromTables wraps pre-built (e.g. loaded) table sets.
+func NewExtractorFromTables(tech Technology, freq float64, sets ...*table.Set) (*Extractor, error) {
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	if freq <= 0 {
+		return nil, fmt.Errorf("core: frequency must be positive, got %g", freq)
+	}
+	e := &Extractor{Tech: tech, Frequency: freq, tables: map[geom.Shielding]*table.Set{}}
+	for _, s := range sets {
+		e.tables[s.Config.Shielding] = s
+	}
+	return e, nil
+}
+
+// Tables exposes the table set for a shielding configuration.
+func (e *Extractor) Tables(sh geom.Shielding) (*table.Set, error) {
+	set, ok := e.tables[sh]
+	if !ok {
+		return nil, fmt.Errorf("core: no tables built for %v", sh)
+	}
+	return set, nil
+}
+
+// LoopL composes the segment's loop inductance from table lookups.
+//
+// Coplanar waveguide (no plane): with the symmetric grounds splitting
+// the return evenly,
+//
+//	Lloop = Ls + (Lg + Mgg)/2 − 2·Msg
+//
+// from partial self/mutual entries. Shielded configurations
+// (microstrip/stripline): the tabulated entries are already loop
+// quantities with the plane as return; the two ground wires form
+// shorted loops that the signal couples into, giving
+//
+//	Lloop = Ls − 2·Msg²/(Lg + Mgg).
+func (e *Extractor) LoopL(s Segment) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	set, err := e.Tables(s.Shielding)
+	if err != nil {
+		return 0, err
+	}
+	ls, err := set.SelfL(s.SignalWidth, s.Length)
+	if err != nil {
+		return 0, err
+	}
+	lg, err := set.SelfL(s.GroundWidth, s.Length)
+	if err != nil {
+		return 0, err
+	}
+	msg, err := set.MutualL(s.SignalWidth, s.GroundWidth, s.Spacing, s.Length)
+	if err != nil {
+		return 0, err
+	}
+	// Ground-to-ground spacing across the signal trace.
+	sgg := 2*s.Spacing + s.SignalWidth
+	mgg, err := set.MutualL(s.GroundWidth, s.GroundWidth, sgg, s.Length)
+	if err != nil {
+		return 0, err
+	}
+	if s.Shielding == geom.ShieldNone {
+		return ls + (lg+mgg)/2 - 2*msg, nil
+	}
+	return ls - 2*msg*msg/(lg+mgg), nil
+}
+
+// DirectLoopL solves the full 3-wire (+plane) system with the field
+// engine at full fidelity (filament-subdivided conductors, proximity
+// crowding resolved), bypassing tables — the accuracy reference for
+// LoopL.
+//
+// Note on the comparison: the table method composes the loop from
+// isolated 1-trace and 2-trace entries, so it cannot capture the
+// drive/return proximity crowding of the assembled loop. For
+// micron-gap shields at multi-GHz significant frequencies that
+// approximation costs up to ~10 % of loop inductance (it vanishes at
+// lower frequency or wider spacing); the interpolation itself is
+// accurate to ~1–2 % (see the table package tests). This is the
+// inherent envelope of the paper's method, of a kind with its own
+// Table I cascading errors.
+func (e *Extractor) DirectLoopL(s Segment) (float64, error) {
+	blk, err := e.Block(s)
+	if err != nil {
+		return 0, err
+	}
+	sol, err := loop.SolveBlock(blk, 1, loop.Options{Frequency: e.Frequency, SubW: 4, SubT: 2})
+	if err != nil {
+		return 0, err
+	}
+	return sol.L, nil
+}
+
+// Block materialises the segment's geometry.
+func (e *Extractor) Block(s Segment) (*geom.Block, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	z := e.Tech.Thickness / 2
+	var blk *geom.Block
+	switch s.Shielding {
+	case geom.ShieldNone:
+		blk = geom.CoplanarWaveguide(s.Length, s.SignalWidth, s.GroundWidth, s.Spacing,
+			e.Tech.Thickness, z, e.Tech.Rho)
+	case geom.ShieldMicrostrip:
+		blk = geom.Microstrip(s.Length, s.SignalWidth, s.GroundWidth, s.Spacing,
+			e.Tech.Thickness, z, e.Tech.Rho, e.Tech.PlaneGap, e.Tech.PlaneThickness)
+	case geom.ShieldStripline:
+		blk = geom.Microstrip(s.Length, s.SignalWidth, s.GroundWidth, s.Spacing,
+			e.Tech.Thickness, z, e.Tech.Rho, e.Tech.PlaneGap, e.Tech.PlaneThickness)
+		top := *blk.PlaneBelow
+		top.Z = z + e.Tech.Thickness/2 + e.Tech.PlaneGap + e.Tech.PlaneThickness/2
+		blk.PlaneAbove = &top
+	default:
+		return nil, fmt.Errorf("core: unsupported shielding %v", s.Shielding)
+	}
+	return blk, nil
+}
+
+// SegmentRLC extracts the lumped totals for one segment: analytic AC
+// resistance, grounded-total capacitance of the signal trace, and the
+// table-composed loop inductance.
+func (e *Extractor) SegmentRLC(s Segment) (netlist.SegmentRLC, error) {
+	r, err := resist.ACSkinArea(s.Length, s.SignalWidth, e.Tech.Thickness, e.Tech.Rho, e.Frequency)
+	if err != nil {
+		return netlist.SegmentRLC{}, err
+	}
+	c, err := e.SegmentCap(s)
+	if err != nil {
+		return netlist.SegmentRLC{}, err
+	}
+	l, err := e.LoopL(s)
+	if err != nil {
+		return netlist.SegmentRLC{}, err
+	}
+	out := netlist.SegmentRLC{R: r, L: l, C: c}
+	if err := out.Validate(); err != nil {
+		return netlist.SegmentRLC{}, fmt.Errorf("core: extracted values unphysical: %w", err)
+	}
+	return out, nil
+}
+
+// SegmentRCOnly extracts the same segment without inductance — the
+// baseline netlist the paper compares against (Fig. 2 vs Fig. 3).
+func (e *Extractor) SegmentRCOnly(s Segment) (netlist.SegmentRLC, error) {
+	rlc, err := e.SegmentRLC(s)
+	if err != nil {
+		return netlist.SegmentRLC{}, err
+	}
+	rlc.L = 0
+	return rlc, nil
+}
+
+// SegmentCap returns the signal trace's total capacitance (area +
+// fringe to the reference below, plus both lateral couplings treated
+// as grounded), in farads.
+func (e *Extractor) SegmentCap(s Segment) (float64, error) {
+	blk, err := e.Block(s)
+	if err != nil {
+		return 0, err
+	}
+	caps, err := capmodel.BlockCaps(blk, e.Tech.CapHeight, e.Tech.EpsRel)
+	if err != nil {
+		return 0, err
+	}
+	return caps[1].Total() * s.Length, nil
+}
+
+// PartialNetlist builds the Section II formulation of the segment as
+// a rigorous sectioned PEEC netlist: the three traces are cut into
+// `sections` collinear bars, the full partial-inductance matrix of all
+// 3·sections bars is computed with the field engine, and every bar
+// becomes an R–L branch with mutual K elements to every other bar
+// (collinear same-wire couplings included). Nothing is folded into a
+// loop inductance: the simulator determines the return path, exactly
+// the PEEC usage the paper's Section II describes. The ground traces
+// are bonded to the circuit ground rail at every section junction —
+// the paper's "regular connections to the near by ground nodes (such
+// as ground C4 bumps)".
+//
+// The signal runs between nodes from and to; sectioned internal nodes
+// are prefixed with prefix.
+func (e *Extractor) PartialNetlist(nl *netlist.Netlist, prefix, from, to string, s Segment, sections int) error {
+	return e.PartialNetlistOpts(nl, prefix, from, to, s, PartialOptions{Sections: sections})
+}
+
+// PartialOptions tunes the sectioned PEEC netlist formulation.
+type PartialOptions struct {
+	// Sections per wire.
+	Sections int
+	// EndBondsOnly ties the ground wires to the rail only at the
+	// segment's two ends instead of at every junction — the topology a
+	// designer gets without intermediate C4/ground-strap connections.
+	// The shield return current is then forced uniform along the wire,
+	// which raises the effective dynamic inductance above the ideal
+	// loop value (the configuration behind the paper's Fig. 3 ringing).
+	EndBondsOnly bool
+	// CapOverride, when positive, replaces the modelled total signal
+	// capacitance (used to calibrate against a published value).
+	CapOverride float64
+}
+
+// PartialNetlistOpts is PartialNetlist with explicit options.
+func (e *Extractor) PartialNetlistOpts(nl *netlist.Netlist, prefix, from, to string, s Segment, opts PartialOptions) error {
+	sections := opts.Sections
+	if sections < 1 {
+		return fmt.Errorf("core: need at least one section, got %d", sections)
+	}
+	if s.Shielding != geom.ShieldNone {
+		return fmt.Errorf("core: partial formulation models no-plane blocks; got %v", s.Shielding)
+	}
+	blk, err := e.Block(s)
+	if err != nil {
+		return err
+	}
+	caps, err := capmodel.BlockCaps(blk, e.Tech.CapHeight, e.Tech.EpsRel)
+	if err != nil {
+		return err
+	}
+
+	// Section every trace into collinear bars: bar index = wire*sections + k.
+	nWires := len(blk.Traces)
+	secLen := s.Length / float64(sections)
+	bars := make([]peec.Bar, 0, nWires*sections)
+	for _, tr := range blk.Traces {
+		full := peec.BarFromTrace(tr)
+		for k := 0; k < sections; k++ {
+			b := full
+			b.O[0] = full.O[0] + float64(k)*secLen
+			b.L = secLen
+			bars = append(bars, b)
+		}
+	}
+	lp := peec.PartialMatrix(bars)
+
+	const bondR = 1e-3
+	wireNames := []string{"g1", "sig", "g2"}
+	inds := make([]int, len(bars))
+	for wi, tr := range blk.Traces {
+		name := wireNames[wi]
+		isSig := wi == 1
+		rWire, err := resist.ACSkinArea(s.Length, tr.Width, e.Tech.Thickness, e.Tech.Rho, e.Frequency)
+		if err != nil {
+			return err
+		}
+		var cSec float64
+		if isSig {
+			cSec = caps[wi].Total() * s.Length / float64(sections)
+			if opts.CapOverride > 0 {
+				cSec = opts.CapOverride / float64(sections)
+			}
+		}
+		prev := from
+		if !isSig {
+			prev = fmt.Sprintf("%s.%s.end0", prefix, name)
+			nl.AddR(fmt.Sprintf("%s.%s.bond0", prefix, name), prev, netlist.Ground, bondR)
+		}
+		for k := 0; k < sections; k++ {
+			bi := wi*sections + k
+			end := fmt.Sprintf("%s.%s.n%d", prefix, name, k+1)
+			if k == sections-1 {
+				if isSig {
+					end = to
+				} // ground wires keep their distinct far-end node
+			}
+			mid := fmt.Sprintf("%s.%s.m%d", prefix, name, k)
+			nl.AddR(fmt.Sprintf("%s.%s.r%d", prefix, name, k), prev, mid, rWire/float64(sections))
+			inds[bi] = nl.AddL(fmt.Sprintf("%s.%s.l%d", prefix, name, k), mid, end, lp.At(bi, bi))
+			if isSig {
+				nl.AddC(fmt.Sprintf("%s.%s.c%d", prefix, name, k), end, netlist.Ground, cSec)
+			} else if !opts.EndBondsOnly || k == sections-1 {
+				nl.AddR(fmt.Sprintf("%s.%s.bond%d", prefix, name, k+1), end, netlist.Ground, bondR)
+			}
+			prev = end
+		}
+	}
+	// Full mutual coupling: K for every bar pair.
+	for i := 0; i < len(bars); i++ {
+		for j := i + 1; j < len(bars); j++ {
+			m := lp.At(i, j)
+			if m == 0 {
+				continue
+			}
+			nl.AddK(fmt.Sprintf("%s.k.%d.%d", prefix, i, j), inds[i], inds[j], m)
+		}
+	}
+	return nil
+}
+
+// SignificantFrequency re-exports the frequency rule for callers that
+// build extractors from a rise time.
+func SignificantFrequency(riseTime float64) float64 {
+	return units.SignificantFrequency(riseTime)
+}

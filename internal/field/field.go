@@ -1,0 +1,368 @@
+// Package field implements a 2-D finite-difference electrostatic
+// solver for per-unit-length capacitance matrices of interconnect
+// cross sections. It stands in for the numerical capacitance
+// extraction (Raphael) the paper's pre-characterised capacitance
+// tables were built with.
+//
+// The solver works on the (y, z) cross-section plane: conductors are
+// axis-aligned rectangles held at fixed potentials, the surrounding
+// dielectric is uniform, and the outer window boundary is a grounded
+// Dirichlet box (placed far enough away that it collects only the far
+// fringe field). Laplace's equation is relaxed with SOR; conductor
+// charges are obtained from Gauss's law on the grid, and the Maxwell
+// capacitance matrix assembled column by column.
+package field
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"clockrlc/internal/linalg"
+	"clockrlc/internal/units"
+)
+
+// Rect is an axis-aligned rectangle in the cross-section plane:
+// [Y0, Y0+W] × [Z0, Z0+T].
+type Rect struct {
+	Y0, Z0, W, T float64
+}
+
+// contains reports whether the point is inside the rectangle,
+// inclusive of edges up to a tolerance. The tolerance absorbs the
+// floating-point noise of grid-node coordinates computed as
+// origin + i·h, which would otherwise randomly exclude nodes lying
+// exactly on conductor faces and change the effective geometry by a
+// whole grid cell.
+func (r Rect) contains(y, z, tol float64) bool {
+	return y >= r.Y0-tol && y <= r.Y0+r.W+tol && z >= r.Z0-tol && z <= r.Z0+r.T+tol
+}
+
+// Window is the solver domain and grid resolution.
+type Window struct {
+	Y0, Y1, Z0, Z1 float64
+	NY, NZ         int
+}
+
+// Validate checks the window is non-degenerate.
+func (w Window) Validate() error {
+	if w.Y1 <= w.Y0 || w.Z1 <= w.Z0 {
+		return fmt.Errorf("field: degenerate window [%g,%g]×[%g,%g]", w.Y0, w.Y1, w.Z0, w.Z1)
+	}
+	if w.NY < 8 || w.NZ < 8 {
+		return fmt.Errorf("field: grid too coarse (%d×%d), need at least 8×8", w.NY, w.NZ)
+	}
+	return nil
+}
+
+// AutoWindow builds a window that surrounds the given rectangles with
+// margin times the structure extent on every side, with a grid of
+// roughly n cells across the larger dimension.
+func AutoWindow(rects []Rect, margin float64, n int) Window {
+	if len(rects) == 0 {
+		panic("field: AutoWindow with no rectangles")
+	}
+	y0, y1 := math.Inf(1), math.Inf(-1)
+	z0, z1 := math.Inf(1), math.Inf(-1)
+	for _, r := range rects {
+		y0 = math.Min(y0, r.Y0)
+		y1 = math.Max(y1, r.Y0+r.W)
+		z0 = math.Min(z0, r.Z0)
+		z1 = math.Max(z1, r.Z0+r.T)
+	}
+	dy, dz := y1-y0, z1-z0
+	ext := math.Max(dy, dz)
+	if ext == 0 {
+		ext = 1e-6
+	}
+	w := Window{
+		Y0: y0 - margin*ext, Y1: y1 + margin*ext,
+		Z0: z0 - margin*ext, Z1: z1 + margin*ext,
+	}
+	aspect := (w.Y1 - w.Y0) / (w.Z1 - w.Z0)
+	if aspect >= 1 {
+		w.NY = n
+		w.NZ = int(math.Max(8, float64(n)/aspect))
+	} else {
+		w.NZ = n
+		w.NY = int(math.Max(8, float64(n)*aspect))
+	}
+	return w
+}
+
+// Options tunes the SOR iteration.
+type Options struct {
+	// Omega is the over-relaxation factor in (1, 2); 0 selects 1.9.
+	Omega float64
+	// Tol is the maximum potential update at which iteration stops;
+	// 0 selects 1e-7 (potentials are O(1)).
+	Tol float64
+	// MaxIter bounds the iteration count; 0 selects 20000.
+	MaxIter int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Omega == 0 {
+		o.Omega = 1.9
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 20000
+	}
+	return o
+}
+
+// grid marks each cell: -1 free space, -2 grounded conductor,
+// k >= 0 conductor index k.
+type grid struct {
+	w      Window
+	hy, hz float64
+	mark   []int
+	phi    []float64
+	// epsY[idx] is the relative permittivity at the midpoint of the
+	// edge from node idx to idx+1 (y direction); epsZ[idx] likewise
+	// toward idx+NY (z direction). Sampling at edge midpoints places
+	// layer interfaces exactly between nodes.
+	epsY, epsZ []float64
+}
+
+func (g *grid) idx(i, j int) int { return j*g.w.NY + i }
+
+func newGrid(w Window, conds, grounds []Rect, background float64, layers []Dielectric) *grid {
+	g := &grid{
+		w:    w,
+		hy:   (w.Y1 - w.Y0) / float64(w.NY-1),
+		hz:   (w.Z1 - w.Z0) / float64(w.NZ-1),
+		mark: make([]int, w.NY*w.NZ),
+		phi:  make([]float64, w.NY*w.NZ),
+		epsY: make([]float64, w.NY*w.NZ),
+		epsZ: make([]float64, w.NY*w.NZ),
+	}
+	tol := 1e-6 * math.Min(g.hy, g.hz)
+	epsAt := func(z float64) float64 {
+		for _, l := range layers {
+			if z >= l.Z0-tol && z <= l.Z1+tol {
+				return l.EpsRel
+			}
+		}
+		return background
+	}
+	for j := 0; j < w.NZ; j++ {
+		z := w.Z0 + float64(j)*g.hz
+		for i := 0; i < w.NY; i++ {
+			y := w.Y0 + float64(i)*g.hy
+			m := -1
+			for k, r := range conds {
+				if r.contains(y, z, tol) {
+					m = k
+					break
+				}
+			}
+			if m == -1 {
+				for _, r := range grounds {
+					if r.contains(y, z, tol) {
+						m = -2
+						break
+					}
+				}
+			}
+			idx := g.idx(i, j)
+			g.mark[idx] = m
+			// Edge permittivities sampled at the edge midpoints.
+			g.epsY[idx] = epsAt(z)
+			g.epsZ[idx] = epsAt(z + g.hz/2)
+		}
+	}
+	return g
+}
+
+// epsEdge returns the permittivity governing the flux between node a
+// and a neighbouring node (b = a±1 for y edges, a±NY for z edges).
+func (g *grid) epsEdge(a, b int) float64 {
+	switch b - a {
+	case 1:
+		return g.epsY[a]
+	case -1:
+		return g.epsY[b]
+	case g.w.NY:
+		return g.epsZ[a]
+	default: // -NY
+		return g.epsZ[b]
+	}
+}
+
+// solve relaxes Laplace with conductor k driven to 1 V, all other
+// conductors and the boundary at 0 V. Returns the iteration count.
+func (g *grid) solve(k int, opt Options) (int, error) {
+	ny, nz := g.w.NY, g.w.NZ
+	// Fix potentials.
+	for idx, m := range g.mark {
+		switch {
+		case m == k:
+			g.phi[idx] = 1
+		case m >= 0 || m == -2:
+			g.phi[idx] = 0
+		default:
+			g.phi[idx] = 0 // free-space initial guess
+		}
+	}
+	// 5-point SOR on free cells only, discretising ∇·(ε∇φ) = 0: each
+	// edge carries conductance ε_edge/h² (harmonic-mean permittivity,
+	// exact for layered media). The grid may be anisotropic (hy != hz).
+	ay := 1 / (g.hy * g.hy)
+	az := 1 / (g.hz * g.hz)
+	for it := 1; it <= opt.MaxIter; it++ {
+		var maxd float64
+		for j := 1; j < nz-1; j++ {
+			row := j * ny
+			for i := 1; i < ny-1; i++ {
+				idx := row + i
+				if g.mark[idx] != -1 {
+					continue
+				}
+				wl := ay * g.epsEdge(idx, idx-1)
+				wr := ay * g.epsEdge(idx, idx+1)
+				wd := az * g.epsEdge(idx, idx-ny)
+				wu := az * g.epsEdge(idx, idx+ny)
+				next := (wl*g.phi[idx-1] + wr*g.phi[idx+1] + wd*g.phi[idx-ny] + wu*g.phi[idx+ny]) /
+					(wl + wr + wd + wu)
+				d := next - g.phi[idx]
+				g.phi[idx] += opt.Omega * d
+				if d < 0 {
+					d = -d
+				}
+				if d > maxd {
+					maxd = d
+				}
+			}
+		}
+		if maxd < opt.Tol {
+			return it, nil
+		}
+	}
+	return opt.MaxIter, errors.New("field: SOR did not converge; refine Options or grid")
+}
+
+// charges integrates Gauss's law around every conductor: for each
+// conductor cell face adjacent to free space, the flux ε·(φ_out −
+// φ_cond)/h·h_perp leaves the conductor. Returns charge per unit
+// length (C/m) per conductor index.
+func (g *grid) charges(n int) []float64 {
+	q := make([]float64, n)
+	ny, nz := g.w.NY, g.w.NZ
+	for j := 0; j < nz; j++ {
+		for i := 0; i < ny; i++ {
+			idx := g.idx(i, j)
+			m := g.mark[idx]
+			if m < 0 {
+				continue
+			}
+			pc := g.phi[idx]
+			// Four neighbours; flux only across conductor→free faces,
+			// with the edge's own permittivity.
+			if i > 0 && g.mark[idx-1] == -1 {
+				q[m] += units.Eps0 * g.epsEdge(idx, idx-1) * (pc - g.phi[idx-1]) / g.hy * g.hz
+			}
+			if i < ny-1 && g.mark[idx+1] == -1 {
+				q[m] += units.Eps0 * g.epsEdge(idx, idx+1) * (pc - g.phi[idx+1]) / g.hy * g.hz
+			}
+			if j > 0 && g.mark[idx-ny] == -1 {
+				q[m] += units.Eps0 * g.epsEdge(idx, idx-ny) * (pc - g.phi[idx-ny]) / g.hz * g.hy
+			}
+			if j < nz-1 && g.mark[idx+ny] == -1 {
+				q[m] += units.Eps0 * g.epsEdge(idx, idx+ny) * (pc - g.phi[idx+ny]) / g.hz * g.hy
+			}
+		}
+	}
+	return q
+}
+
+// Dielectric is one horizontal dielectric slab: relative permittivity
+// EpsRel between heights Z0 and Z1 (the real ILD stack of a process).
+// Outside every slab the background permittivity applies.
+type Dielectric struct {
+	Z0, Z1 float64
+	EpsRel float64
+}
+
+// Validate checks the slab.
+func (d Dielectric) Validate() error {
+	if d.Z1 <= d.Z0 || d.EpsRel <= 0 {
+		return fmt.Errorf("field: bad dielectric slab %+v", d)
+	}
+	return nil
+}
+
+// CapacitanceMatrix computes the Maxwell capacitance matrix (F/m) of
+// the conductors in a uniform dielectric: entry (i, j) is the charge
+// on conductor i when conductor j is at 1 V and all others (plus
+// grounds and the window boundary) are at 0 V. Diagonals are
+// positive, off-diagonals negative, and the matrix is symmetric up to
+// discretisation error.
+func CapacitanceMatrix(conds, grounds []Rect, epsRel float64, w Window, opt Options) (*linalg.Matrix, error) {
+	return CapacitanceMatrixLayered(conds, grounds, epsRel, nil, w, opt)
+}
+
+// CapacitanceMatrixLayered is CapacitanceMatrix for a layered
+// dielectric stack: slabs override the background permittivity in
+// their height ranges. Flux across layer interfaces uses the
+// harmonic-mean permittivity, which reproduces the exact series
+// capacitance of stacked dielectrics.
+func CapacitanceMatrixLayered(conds, grounds []Rect, background float64, layers []Dielectric, w Window, opt Options) (*linalg.Matrix, error) {
+	if len(conds) == 0 {
+		return nil, errors.New("field: no conductors")
+	}
+	if background <= 0 {
+		return nil, fmt.Errorf("field: background permittivity must be positive, got %g", background)
+	}
+	for _, l := range layers {
+		if err := l.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	for i, r := range conds {
+		if r.W <= 0 || r.T <= 0 {
+			return nil, fmt.Errorf("field: conductor %d has non-positive dimensions", i)
+		}
+	}
+	opt = opt.withDefaults()
+	g := newGrid(w, conds, grounds, background, layers)
+	// Every conductor must own at least one grid cell.
+	seen := make([]bool, len(conds))
+	for _, m := range g.mark {
+		if m >= 0 {
+			seen[m] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			return nil, fmt.Errorf("field: conductor %d not resolved by the grid; refine NY/NZ", i)
+		}
+	}
+	n := len(conds)
+	c := linalg.NewMatrix(n, n)
+	for k := 0; k < n; k++ {
+		if _, err := g.solve(k, opt); err != nil {
+			return nil, err
+		}
+		q := g.charges(n)
+		for i := 0; i < n; i++ {
+			c.Set(i, k, q[i])
+		}
+	}
+	// Symmetrise: reciprocity holds in the continuum; averaging removes
+	// the discretisation asymmetry.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (c.At(i, j) + c.At(j, i)) / 2
+			c.Set(i, j, v)
+			c.Set(j, i, v)
+		}
+	}
+	return c, nil
+}

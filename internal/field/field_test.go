@@ -1,0 +1,186 @@
+package field
+
+import (
+	"math"
+	"testing"
+
+	"clockrlc/internal/units"
+)
+
+func TestParallelPlateLimit(t *testing.T) {
+	// Two wide plates separated by a small gap: C/len ≈ ε·w/d.
+	w := units.Um(40)
+	d := units.Um(1)
+	th := units.Um(1)
+	plates := []Rect{
+		{Y0: -w / 2, Z0: 0, W: w, T: th},
+		{Y0: -w / 2, Z0: th + d, W: w, T: th},
+	}
+	win := Window{
+		Y0: -units.Um(60), Y1: units.Um(60),
+		Z0: -units.Um(30), Z1: units.Um(33),
+		NY: 241, NZ: 127,
+	}
+	c, err := CapacitanceMatrix(plates, nil, 1.0, win, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := units.Eps0 * w / d
+	got := -c.At(0, 1) // coupling capacitance
+	// Fringing adds capacitance; the coupling term should be within
+	// ~15 % above the ideal parallel-plate value for w/d = 40.
+	if got < ideal || got > 1.25*ideal {
+		t.Errorf("plate C = %g, ideal %g (ratio %g)", got, ideal, got/ideal)
+	}
+}
+
+func TestMaxwellMatrixStructure(t *testing.T) {
+	// Three coplanar traces (the paper's 3-trace capacitance
+	// subproblem).
+	tr := func(y float64) Rect {
+		return Rect{Y0: y, Z0: 0, W: units.Um(2), T: units.Um(1)}
+	}
+	conds := []Rect{tr(-units.Um(4)), tr(0), tr(units.Um(4))}
+	win := AutoWindow(conds, 3, 220)
+	c, err := CapacitanceMatrix(conds, nil, units.EpsSiO2, win, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if c.At(i, i) <= 0 {
+			t.Errorf("C[%d][%d] = %g, want > 0", i, i, c.At(i, i))
+		}
+		rowSum := 0.0
+		for j := 0; j < 3; j++ {
+			if i != j {
+				if c.At(i, j) >= 0 {
+					t.Errorf("C[%d][%d] = %g, want < 0", i, j, c.At(i, j))
+				}
+				if d := math.Abs(c.At(i, j) - c.At(j, i)); d > 1e-9*math.Abs(c.At(i, j)) {
+					t.Errorf("asymmetry at (%d,%d): %g vs %g", i, j, c.At(i, j), c.At(j, i))
+				}
+			}
+			rowSum += c.At(i, j)
+		}
+		// Row sum is the capacitance to the grounded boundary: >= 0.
+		if rowSum < 0 {
+			t.Errorf("row %d sums to %g, want >= 0", i, rowSum)
+		}
+	}
+	// Middle trace couples equally to both neighbours by symmetry.
+	if rel := math.Abs(c.At(1, 0)-c.At(1, 2)) / math.Abs(c.At(1, 0)); rel > 0.02 {
+		t.Errorf("symmetric coupling violated: %g vs %g", c.At(1, 0), c.At(1, 2))
+	}
+}
+
+func TestCapacitanceShortRange(t *testing.T) {
+	// The paper's premise for the 3-trace reduction: capacitive
+	// coupling is short range. With a grounded neighbour in between,
+	// the far coupling must be tiny compared to the near coupling.
+	// Signal [0,2] µm, shield [3,7] µm (at-least-equal-width, per the
+	// paper's shielding rule), far trace [8,10] µm.
+	conds := []Rect{
+		{Y0: 0, Z0: 0, W: units.Um(2), T: units.Um(1)},
+		{Y0: units.Um(3), Z0: 0, W: units.Um(4), T: units.Um(1)},
+		{Y0: units.Um(8), Z0: 0, W: units.Um(2), T: units.Um(1)},
+	}
+	win := AutoWindow(conds, 3, 240)
+	c, err := CapacitanceMatrix(conds, nil, units.EpsSiO2, win, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := -c.At(0, 1)
+	far := -c.At(0, 2)
+	if far > near/10 {
+		t.Errorf("far coupling %g not ≪ near coupling %g", far, near)
+	}
+}
+
+func TestGroundPlaneIncreasesGroundCapacitance(t *testing.T) {
+	cond := []Rect{{Y0: -units.Um(1), Z0: units.Um(2), W: units.Um(2), T: units.Um(1)}}
+	win := Window{
+		Y0: -units.Um(20), Y1: units.Um(20),
+		Z0: -units.Um(5), Z1: units.Um(20),
+		NY: 161, NZ: 101,
+	}
+	noPlane, err := CapacitanceMatrix(cond, nil, units.EpsSiO2, win, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := []Rect{{Y0: -units.Um(20), Z0: -units.Um(2), W: units.Um(40), T: units.Um(1)}}
+	withPlane, err := CapacitanceMatrix(cond, plane, units.EpsSiO2, win, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPlane.At(0, 0) <= noPlane.At(0, 0) {
+		t.Errorf("plane must increase total C: %g <= %g", withPlane.At(0, 0), noPlane.At(0, 0))
+	}
+}
+
+func TestGridRefinementConvergence(t *testing.T) {
+	conds := []Rect{
+		{Y0: 0, Z0: 0, W: units.Um(2), T: units.Um(1)},
+		{Y0: units.Um(3), Z0: 0, W: units.Um(2), T: units.Um(1)},
+	}
+	// Windows chosen so all conductor edges land on grid nodes at both
+	// resolutions; this isolates true discretisation convergence from
+	// staircase wobble of the effective geometry.
+	win := Window{
+		Y0: -units.Um(14), Y1: units.Um(19),
+		Z0: -units.Um(15), Z1: units.Um(16),
+	}
+	coarseWin, fineWin := win, win
+	coarseWin.NY, coarseWin.NZ = 133, 125 // h = 0.25 µm
+	fineWin.NY, fineWin.NZ = 265, 249     // h = 0.125 µm
+	coarse, err := CapacitanceMatrix(conds, nil, 1, coarseWin, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := CapacitanceMatrix(conds, nil, 1, fineWin, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := -coarse.At(0, 1), -fine.At(0, 1)
+	if rel := math.Abs(a-b) / b; rel > 0.08 {
+		t.Errorf("coupling C not converging: coarse %g vs fine %g (rel %g)", a, b, rel)
+	}
+}
+
+func TestCapacitanceMatrixErrors(t *testing.T) {
+	good := []Rect{{Y0: 0, Z0: 0, W: 1e-6, T: 1e-6}}
+	win := AutoWindow(good, 2, 64)
+	if _, err := CapacitanceMatrix(nil, nil, 1, win, Options{}); err == nil {
+		t.Error("accepted empty conductor list")
+	}
+	if _, err := CapacitanceMatrix(good, nil, -1, win, Options{}); err == nil {
+		t.Error("accepted negative permittivity")
+	}
+	if _, err := CapacitanceMatrix(good, nil, 1, Window{NY: 4, NZ: 4, Y1: 1, Z1: 1}, Options{}); err == nil {
+		t.Error("accepted degenerate window")
+	}
+	bad := []Rect{{Y0: 0, Z0: 0, W: 0, T: 1e-6}}
+	if _, err := CapacitanceMatrix(bad, nil, 1, win, Options{}); err == nil {
+		t.Error("accepted zero-width conductor")
+	}
+	// Unresolvable conductor: far outside the window.
+	out := []Rect{{Y0: 10, Z0: 10, W: 1e-9, T: 1e-9}}
+	if _, err := CapacitanceMatrix(out, nil, 1, win, Options{}); err == nil {
+		t.Error("accepted a conductor the grid cannot resolve")
+	}
+}
+
+func TestAutoWindowCoversRects(t *testing.T) {
+	rects := []Rect{
+		{Y0: -units.Um(5), Z0: 0, W: units.Um(2), T: units.Um(1)},
+		{Y0: units.Um(7), Z0: units.Um(3), W: units.Um(2), T: units.Um(1)},
+	}
+	w := AutoWindow(rects, 2, 100)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rects {
+		if r.Y0 < w.Y0 || r.Y0+r.W > w.Y1 || r.Z0 < w.Z0 || r.Z0+r.T > w.Z1 {
+			t.Errorf("window %+v does not cover %+v", w, r)
+		}
+	}
+}

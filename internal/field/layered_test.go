@@ -1,0 +1,118 @@
+package field
+
+import (
+	"math"
+	"testing"
+
+	"clockrlc/internal/units"
+)
+
+// Two stacked dielectric slabs between wide plates must reproduce the
+// exact series-capacitance formula C = ε0·w/(d1/ε1 + d2/ε2).
+func TestLayeredSeriesCapacitance(t *testing.T) {
+	w := units.Um(120) // full-window plates → 1-D field
+	d1, d2 := units.Um(1), units.Um(2)
+	e1, e2 := 3.9, 7.5
+	plates := []Rect{
+		{Y0: -w / 2, Z0: -units.Um(1), W: w, T: units.Um(1)}, // bottom plate: top face at z = 0
+		{Y0: -w / 2, Z0: d1 + d2, W: w, T: units.Um(1)},      // top plate: bottom face at z = d1+d2
+	}
+	layers := []Dielectric{
+		{Z0: 0, Z1: d1, EpsRel: e1},
+		{Z0: d1, Z1: d1 + d2, EpsRel: e2},
+	}
+	win := Window{
+		Y0: -units.Um(60), Y1: units.Um(60),
+		Z0: -units.Um(11), Z1: units.Um(13),
+		NY: 241, NZ: 97, // hz = 0.25 µm: interfaces land on nodes
+	}
+	lay, err := CapacitanceMatrixLayered(plates, nil, 1.0, layers, win, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := CapacitanceMatrixLayered(plates, nil, 1.0, nil, win, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-window plates share a small lateral-boundary artifact
+	// (~2 % of width); taking the layered/uniform ratio cancels it,
+	// leaving the pure series-dielectric physics:
+	// C_lay/C_uni = d_total / (d1/ε1 + d2/ε2).
+	gotRatio := lay.At(0, 1) / uni.At(0, 1)
+	wantRatio := (d1 + d2) / (d1/e1 + d2/e2)
+	if rel := math.Abs(gotRatio-wantRatio) / wantRatio; !(rel <= 0.005) {
+		t.Errorf("series ratio = %g, want %g (rel %g)", gotRatio, wantRatio, rel)
+	}
+	// And the absolute value lands within the boundary artifact of the
+	// closed form.
+	got := -lay.At(0, 1)
+	want := units.Eps0 * w / (d1/e1 + d2/e2)
+	if rel := math.Abs(got-want) / want; !(rel <= 0.04) {
+		t.Errorf("layered plate C = %g, series formula %g (rel %g)", got, want, rel)
+	}
+}
+
+// A single slab covering everything must agree with the uniform
+// solver exactly.
+func TestLayeredDegeneratesToUniform(t *testing.T) {
+	conds := []Rect{
+		{Y0: 0, Z0: 0, W: units.Um(2), T: units.Um(1)},
+		{Y0: units.Um(3), Z0: 0, W: units.Um(2), T: units.Um(1)},
+	}
+	win := AutoWindow(conds, 3, 140)
+	uni, err := CapacitanceMatrix(conds, nil, units.EpsSiO2, win, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := CapacitanceMatrixLayered(conds, nil, 1.0,
+		[]Dielectric{{Z0: win.Z0, Z1: win.Z1, EpsRel: units.EpsSiO2}}, win, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if rel := math.Abs(uni.At(i, j)-lay.At(i, j)) / math.Abs(uni.At(i, j)); rel > 1e-9 {
+				t.Errorf("(%d,%d): uniform %g vs layered %g", i, j, uni.At(i, j), lay.At(i, j))
+			}
+		}
+	}
+}
+
+// A high-k slab under the wires raises the ground capacitance.
+func TestHighKUnderlayerRaisesGroundCap(t *testing.T) {
+	cond := []Rect{{Y0: -units.Um(1), Z0: units.Um(2), W: units.Um(2), T: units.Um(1)}}
+	plane := []Rect{{Y0: -units.Um(20), Z0: -units.Um(1), W: units.Um(40), T: units.Um(1)}}
+	win := Window{
+		Y0: -units.Um(20), Y1: units.Um(20),
+		Z0: -units.Um(2), Z1: units.Um(18),
+		NY: 161, NZ: 81,
+	}
+	base, err := CapacitanceMatrixLayered(cond, plane, units.EpsSiO2, nil, win, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiK, err := CapacitanceMatrixLayered(cond, plane, units.EpsSiO2,
+		[]Dielectric{{Z0: 0, Z1: units.Um(2), EpsRel: 7.5}}, win, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hiK.At(0, 0) > 1.2*base.At(0, 0)) {
+		t.Errorf("high-k underlayer barely changed C: %g vs %g", hiK.At(0, 0), base.At(0, 0))
+	}
+}
+
+func TestLayeredValidation(t *testing.T) {
+	conds := []Rect{{Y0: 0, Z0: 0, W: 1e-6, T: 1e-6}}
+	win := AutoWindow(conds, 2, 64)
+	if _, err := CapacitanceMatrixLayered(conds, nil, 1,
+		[]Dielectric{{Z0: 1, Z1: 0, EpsRel: 2}}, win, Options{}); err == nil {
+		t.Error("accepted inverted slab")
+	}
+	if _, err := CapacitanceMatrixLayered(conds, nil, 1,
+		[]Dielectric{{Z0: 0, Z1: 1, EpsRel: -2}}, win, Options{}); err == nil {
+		t.Error("accepted negative permittivity slab")
+	}
+	if _, err := CapacitanceMatrixLayered(conds, nil, 0, nil, win, Options{}); err == nil {
+		t.Error("accepted zero background")
+	}
+}

@@ -1,0 +1,151 @@
+package linalg
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// CMatrix is a dense row-major complex matrix, used by the
+// frequency-domain PEEC solves (Z = R + jωL).
+type CMatrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCMatrix allocates a zeroed r×c complex matrix.
+func NewCMatrix(r, c int) *CMatrix {
+	if r < 0 || c < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &CMatrix{Rows: r, Cols: c, Data: make([]complex128, r*c)}
+}
+
+// At returns element (i, j).
+func (m *CMatrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *CMatrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i, j).
+func (m *CMatrix) Add(i, j int, v complex128) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy.
+func (m *CMatrix) Clone() *CMatrix {
+	out := NewCMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes y = m·x.
+func (m *CMatrix) MulVec(x []complex128) []complex128 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: CMatrix MulVec dimension mismatch %d != %d", len(x), m.Cols))
+	}
+	y := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s complex128
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// CLU is the complex analogue of LU.
+type CLU struct {
+	n   int
+	lu  []complex128
+	piv []int
+}
+
+// FactorC computes the LU factorization of a square complex matrix
+// with partial pivoting on |·|.
+func FactorC(a *CMatrix) (*CLU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: FactorC needs a square matrix, got %d×%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := &CLU{n: n, lu: make([]complex128, n*n), piv: make([]int, n)}
+	copy(f.lu, a.Data)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		p, max := k, cmplx.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(lu[i*n+k]); v > max {
+				p, max = i, v
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rowP := lu[p*n : p*n+n]
+			rowK := lu[k*n : k*n+n]
+			for j := range rowK {
+				rowK[j], rowP[j] = rowP[j], rowK[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivot
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			rowI := lu[i*n+k+1 : i*n+n]
+			rowK := lu[k*n+k+1 : k*n+n]
+			for j := range rowK {
+				rowI[j] -= m * rowK[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b for a complex right-hand side.
+func (f *CLU) Solve(b []complex128) ([]complex128, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("linalg: CLU Solve rhs length %d != %d", len(b), f.n)
+	}
+	n := f.n
+	x := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	for i := 1; i < n; i++ {
+		s := x[i]
+		row := f.lu[i*n : i*n+i]
+		for j, v := range row {
+			s -= v * x[j]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := f.lu[i*n+i+1 : i*n+n]
+		for j, v := range row {
+			s -= v * x[i+1+j]
+		}
+		d := f.lu[i*n+i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// SolveSystemC factors a and solves a·x = b in one call.
+func SolveSystemC(a *CMatrix, b []complex128) ([]complex128, error) {
+	f, err := FactorC(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

@@ -1,0 +1,106 @@
+package linalg
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComplexSolveKnown(t *testing.T) {
+	// (1+1i)x = 2 → x = 1-1i
+	a := NewCMatrix(1, 1)
+	a.Set(0, 0, complex(1, 1))
+	x, err := SolveSystemC(a, []complex128{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-complex(1, -1)) > 1e-13 {
+		t.Errorf("x = %v, want (1-1i)", x[0])
+	}
+}
+
+func TestComplexSolveImpedanceLadder(t *testing.T) {
+	// Two impedances in a 2x2 system representing series elements:
+	// [ z1+z2  -z2 ] [i1]   [v]
+	// [ -z2   z2+z3] [i2] = [0]
+	z1 := complex(1, 2)
+	z2 := complex(3, -1)
+	z3 := complex(0.5, 0.5)
+	a := NewCMatrix(2, 2)
+	a.Set(0, 0, z1+z2)
+	a.Set(0, 1, -z2)
+	a.Set(1, 0, -z2)
+	a.Set(1, 1, z2+z3)
+	b := []complex128{1, 0}
+	x, err := SolveSystemC(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify by substitution.
+	r := a.MulVec(x)
+	for i := range b {
+		if cmplx.Abs(r[i]-b[i]) > 1e-12 {
+			t.Errorf("residual[%d] = %v", i, r[i]-b[i])
+		}
+	}
+}
+
+func TestComplexSingular(t *testing.T) {
+	a := NewCMatrix(2, 2)
+	a.Set(0, 0, complex(1, 1))
+	a.Set(0, 1, complex(2, 2))
+	a.Set(1, 0, complex(2, 2))
+	a.Set(1, 1, complex(4, 4))
+	if _, err := FactorC(a); err != ErrSingular {
+		t.Fatalf("FactorC: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestComplexNonSquare(t *testing.T) {
+	if _, err := FactorC(NewCMatrix(2, 3)); err == nil {
+		t.Fatal("FactorC accepted non-square matrix")
+	}
+}
+
+func TestQuickComplexSolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := NewCMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+			}
+			a.Add(i, i, complex(float64(3*n), 0))
+		}
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		b := a.MulVec(x)
+		got, err := SolveSystemC(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(got[i]-x[i]) > 1e-8*(1+cmplx.Abs(x[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCMatrixClone(t *testing.T) {
+	a := NewCMatrix(2, 2)
+	a.Set(0, 0, 1i)
+	c := a.Clone()
+	c.Set(0, 0, 2)
+	if a.At(0, 0) != 1i {
+		t.Error("Clone aliases original storage")
+	}
+}

@@ -1,0 +1,350 @@
+package loop
+
+import (
+	"math"
+	"testing"
+
+	"clockrlc/internal/geom"
+	"clockrlc/internal/peec"
+	"clockrlc/internal/units"
+)
+
+const fsig = 3.2e9 // significant frequency for tr = 100 ps
+
+func twoBar(l, w, th, d float64) ([]peec.Bar, []Role, []float64) {
+	bars := []peec.Bar{
+		{Axis: peec.AxisX, O: [3]float64{0, 0, 0}, L: l, W: w, T: th},
+		{Axis: peec.AxisX, O: [3]float64{0, d, 0}, L: l, W: w, T: th},
+	}
+	return bars, []Role{RoleSignal, RoleReturn}, []float64{units.RhoCopper, units.RhoCopper}
+}
+
+func TestTwoWireLoopMatchesPartialCombination(t *testing.T) {
+	l, w, th := units.Um(2000), units.Um(2), units.Um(1)
+	d := units.Um(10)
+	bars, roles, rhos := twoBar(l, w, th, d)
+	sol, err := Solve(bars, roles, rhos, fsig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := peec.HoerLoveSelf(bars[0])
+	lr := peec.HoerLoveSelf(bars[1])
+	m := peec.HoerLoveMutual(bars[0], bars[1])
+	want := ls + lr - 2*m
+	if rel := math.Abs(sol.L-want) / want; rel > 1e-9 {
+		t.Errorf("two-wire loop L = %g, want Ls+Lr-2M = %g (rel %g)", sol.L, want, rel)
+	}
+	wantR := 2 * units.RhoCopper * l / (w * th)
+	if rel := math.Abs(sol.R-wantR) / wantR; rel > 1e-9 {
+		t.Errorf("two-wire loop R = %g, want %g", sol.R, wantR)
+	}
+	// Currents are forced to ±1.
+	if math.Abs(real(sol.Currents[0])-1) > 1e-12 || math.Abs(real(sol.Currents[1])+1) > 1e-12 {
+		t.Errorf("currents = %v, want +1/-1", sol.Currents)
+	}
+}
+
+func TestCPWSymmetricSplit(t *testing.T) {
+	// Signal centred between two identical grounds: each ground
+	// carries -1/2 by symmetry, so
+	// Lloop = Ls + (Lg + Mgg)/2 - 2Msg.
+	l := units.Um(3000)
+	blk := geom.CoplanarWaveguide(l, units.Um(10), units.Um(10), units.Um(2), units.Um(2), 0, units.RhoCopper)
+	bars := []peec.Bar{
+		peec.BarFromTrace(blk.Traces[1]), // signal
+		peec.BarFromTrace(blk.Traces[0]),
+		peec.BarFromTrace(blk.Traces[2]),
+	}
+	roles := []Role{RoleSignal, RoleReturn, RoleReturn}
+	rhos := []float64{units.RhoCopper, units.RhoCopper, units.RhoCopper}
+	sol, err := Solve(bars, roles, rhos, fsig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := peec.HoerLoveSelf(bars[0])
+	lg := peec.HoerLoveSelf(bars[1])
+	mgg := peec.HoerLoveMutual(bars[1], bars[2])
+	msg := peec.HoerLoveMutual(bars[0], bars[1])
+	want := ls + (lg+mgg)/2 - 2*msg
+	if rel := math.Abs(sol.L-want) / want; rel > 1e-6 {
+		t.Errorf("CPW loop L = %g, want %g (rel %g)", sol.L, want, rel)
+	}
+	// Ground currents split evenly.
+	if d := math.Abs(real(sol.Currents[1]) - real(sol.Currents[2])); d > 1e-9 {
+		t.Errorf("asymmetric ground split: %v", sol.Currents)
+	}
+}
+
+func fig1Block() *geom.Block {
+	return geom.CoplanarWaveguide(units.Um(6000), units.Um(10), units.Um(5),
+		units.Um(1), units.Um(2), 0, units.RhoCopper)
+}
+
+func TestSolveBlockFig1Magnitude(t *testing.T) {
+	// The Fig. 1 CPW: loop inductance should land in the nH range
+	// (a few nH for 6 mm with ~1 µm gaps).
+	sol, err := SolveBlock(fig1Block(), 1, Options{Frequency: fsig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnh := units.ToNH(sol.L)
+	if math.IsNaN(lnh) || lnh < 1 || lnh > 10 {
+		t.Errorf("Fig.1 CPW loop L = %g nH, want O(1–10) nH", lnh)
+	}
+	if sol.R <= 0 {
+		t.Errorf("loop R = %g, want > 0", sol.R)
+	}
+}
+
+func TestGroundPlaneReducesLoopInductance(t *testing.T) {
+	cpw := fig1Block()
+	ms := geom.Microstrip(units.Um(6000), units.Um(10), units.Um(5), units.Um(1),
+		units.Um(2), 0, units.RhoCopper, units.Um(2), units.Um(1))
+	a, err := SolveBlock(cpw, 1, Options{Frequency: fsig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveBlock(ms, 1, Options{Frequency: fsig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.L >= a.L {
+		t.Errorf("plane must reduce loop L: microstrip %g >= cpw %g", b.L, a.L)
+	}
+	if b.L <= 0 {
+		t.Errorf("microstrip loop L = %g, want > 0", b.L)
+	}
+}
+
+func TestPlaneStripConvergence(t *testing.T) {
+	ms := geom.Microstrip(units.Um(2000), units.Um(4), units.Um(4), units.Um(1),
+		units.Um(1), 0, units.RhoCopper, units.Um(2), units.Um(1))
+	coarse, err := SolveBlock(ms, 1, Options{Frequency: fsig, PlaneStrips: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := SolveBlock(ms, 1, Options{Frequency: fsig, PlaneStrips: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(coarse.L-fine.L) / fine.L; rel > 0.03 {
+		t.Errorf("plane strip discretisation not converged: 8 strips %g vs 32 strips %g (rel %g)",
+			coarse.L, fine.L, rel)
+	}
+}
+
+func TestSignalSubdivisionStaysClose(t *testing.T) {
+	// Subdividing the signal for skin effect should move loop L only
+	// modestly at the significant frequency for these cross sections.
+	blk := fig1Block()
+	u, err := SolveBlock(blk, 1, Options{Frequency: fsig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SolveBlock(blk, 1, Options{Frequency: fsig, SubW: 6, SubT: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(s.L) || math.IsNaN(u.L) {
+		t.Fatalf("NaN loop inductance: uniform %g, subdivided %g", u.L, s.L)
+	}
+	// At 3.2 GHz with 1 µm gaps the proximity effect pulls return
+	// current to the facing edges and shrinks the loop by ~10–15 %;
+	// sanity-band the redistribution rather than pinning it.
+	rel := (u.L - s.L) / u.L
+	if rel < 0 || rel > 0.25 {
+		t.Errorf("subdivided loop L shift = %g of uniform (uniform %g, subdivided %g); want in [0, 0.25]",
+			rel, u.L, s.L)
+	}
+}
+
+// Foundation 1 (paper Fig. 5b): the loop self inductance of a trace
+// over a plane is unchanged by the presence of other (quiet) traces.
+func TestFoundation1(t *testing.T) {
+	full := geom.TraceArray(5, units.Um(1000), units.Um(2), units.Um(2), units.Um(1), 0, units.RhoCopper)
+	full.IsGround = []bool{false, false, false, false, false}
+	plane := &geom.GroundPlane{Z: -units.Um(3), Thickness: units.Um(1), Width: units.Um(60), Rho: units.RhoCopper}
+	full.PlaneBelow = plane
+
+	solo := &geom.Block{
+		Traces:     []geom.Trace{full.Traces[0]},
+		IsGround:   []bool{false},
+		PlaneBelow: plane,
+		Rho:        units.RhoCopper,
+	}
+	opts := Options{Frequency: fsig, PlaneStrips: 16}
+	a, err := SolveBlock(full, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveBlock(solo, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(a.L-b.L) / b.L; rel > 1e-9 {
+		t.Errorf("Foundation 1 violated: full %g vs solo %g", a.L, b.L)
+	}
+}
+
+// Foundation 2 (paper Fig. 5c): the loop mutual between T1 and T5 is
+// unchanged by the presence of T2–T4.
+func TestFoundation2(t *testing.T) {
+	plane := &geom.GroundPlane{Z: -units.Um(3), Thickness: units.Um(1), Width: units.Um(60), Rho: units.RhoCopper}
+	full := geom.TraceArray(5, units.Um(1000), units.Um(2), units.Um(2), units.Um(1), 0, units.RhoCopper)
+	full.IsGround = []bool{false, false, false, false, false}
+	full.PlaneBelow = plane
+
+	pair := &geom.Block{
+		Traces:     []geom.Trace{full.Traces[0], full.Traces[4]},
+		IsGround:   []bool{false, false},
+		PlaneBelow: plane,
+		Rho:        units.RhoCopper,
+	}
+	opts := Options{Frequency: fsig, PlaneStrips: 16}
+	mFull, err := LoopMatrix(full, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPair, err := LoopMatrix(pair, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T1–T5 mutual: full matrix entry (0,4) vs pair entry (0,1).
+	a, b := mFull.At(0, 4), mPair.At(0, 1)
+	if rel := math.Abs(a-b) / math.Abs(b); rel > 1e-9 {
+		t.Errorf("Foundation 2 violated: full %g vs pair %g", a, b)
+	}
+	// Self terms also match (Foundation 1 via the matrix path).
+	if rel := math.Abs(mFull.At(0, 0)-mPair.At(0, 0)) / mPair.At(0, 0); rel > 1e-9 {
+		t.Errorf("self loop L differs: %g vs %g", mFull.At(0, 0), mPair.At(0, 0))
+	}
+}
+
+func TestLoopMatrixReciprocity(t *testing.T) {
+	blk := geom.TraceArray(4, units.Um(800), units.Um(2), units.Um(3), units.Um(1), 0, units.RhoCopper)
+	m, err := LoopMatrix(blk, Options{Frequency: fsig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		if m.At(i, i) <= 0 {
+			t.Errorf("loop self L[%d] = %g, want > 0", i, m.At(i, i))
+		}
+		for j := i + 1; j < n; j++ {
+			a, b := m.At(i, j), m.At(j, i)
+			if math.Abs(a-b) > 1e-6*math.Abs(a) {
+				t.Errorf("loop mutual not reciprocal: M[%d][%d]=%g M[%d][%d]=%g", i, j, a, j, i, b)
+			}
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	bars, roles, rhos := twoBar(units.Um(100), units.Um(1), units.Um(1), units.Um(5))
+	if _, err := Solve(bars, roles, rhos, 0); err == nil {
+		t.Error("Solve accepted f = 0")
+	}
+	if _, err := Solve(bars, roles[:1], rhos, fsig); err == nil {
+		t.Error("Solve accepted mismatched roles")
+	}
+	if _, err := Solve(bars, []Role{RoleSignal, RoleSignal}, rhos, fsig); err == nil {
+		t.Error("Solve accepted a system with no return")
+	}
+	if _, err := Solve(bars, []Role{RoleReturn, RoleReturn}, rhos, fsig); err == nil {
+		t.Error("Solve accepted a system with no signal")
+	}
+	if _, err := Solve(nil, nil, nil, fsig); err == nil {
+		t.Error("Solve accepted an empty system")
+	}
+	bad := []float64{units.RhoCopper, -1}
+	if _, err := Solve(bars, roles, bad, fsig); err == nil {
+		t.Error("Solve accepted negative resistivity")
+	}
+}
+
+func TestSolveBlockErrors(t *testing.T) {
+	blk := fig1Block()
+	if _, err := SolveBlock(blk, 0, Options{Frequency: fsig}); err == nil {
+		t.Error("SolveBlock accepted a ground trace as signal")
+	}
+	if _, err := SolveBlock(blk, 9, Options{Frequency: fsig}); err == nil {
+		t.Error("SolveBlock accepted out-of-range index")
+	}
+	if _, err := SolveBlock(blk, 1, Options{}); err == nil {
+		t.Error("SolveBlock accepted zero frequency")
+	}
+}
+
+// The paper's Section VI limitation: parallel trace arrays in layer
+// N−2 are ignored, "assuming that they are statistically quiet". Two
+// bounding cases quantify the assumption for the Fig. 1 CPW:
+//   - quiet (open) traces change the loop inductance by exactly zero
+//     under PEEC (they carry no current), so ignoring them is lossless;
+//   - the worst case — the same array AC-grounded (a dense return
+//     mesh) — lowers loop L by a bounded amount, the maximum error the
+//     assumption can incur.
+func TestVerticalNeighbourArrayAssumption(t *testing.T) {
+	blk := fig1Block()
+	base, err := SolveBlock(blk, 1, Options{Frequency: fsig})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An array of 2 µm traces at 2 µm pitch in layer N−2 (4 µm below),
+	// spanning the block.
+	mkArray := func() []peec.Bar {
+		var bars []peec.Bar
+		for i := -5; i <= 5; i++ {
+			bars = append(bars, peec.Bar{
+				Axis: peec.AxisX,
+				O:    [3]float64{0, float64(i)*units.Um(4) - units.Um(1), -units.Um(5)},
+				L:    blk.Traces[0].Length, W: units.Um(2), T: units.Um(1),
+			})
+		}
+		return bars
+	}
+
+	build := func(role Role) (float64, error) {
+		bars := []peec.Bar{
+			peec.BarFromTrace(blk.Traces[1]),
+			peec.BarFromTrace(blk.Traces[0]),
+			peec.BarFromTrace(blk.Traces[2]),
+		}
+		roles := []Role{RoleSignal, RoleReturn, RoleReturn}
+		rhos := []float64{units.RhoCopper, units.RhoCopper, units.RhoCopper}
+		for _, b := range mkArray() {
+			bars = append(bars, b)
+			roles = append(roles, role)
+			rhos = append(rhos, units.RhoCopper)
+		}
+		sol, err := Solve(bars, roles, rhos, fsig)
+		if err != nil {
+			return 0, err
+		}
+		return sol.L, nil
+	}
+
+	quiet, err := build(RoleOpen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(quiet-base.L) / base.L; rel > 1e-12 {
+		t.Errorf("quiet array changed loop L by %g; must be exactly ignorable", rel)
+	}
+
+	grounded, err := build(RoleReturn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(grounded < base.L) {
+		t.Errorf("grounded mesh must reduce loop L: %g vs %g", grounded, base.L)
+	}
+	worstErr := (base.L - grounded) / base.L
+	// The Fig. 1 CPW has its returns only 1 µm away; a mesh 4 µm below
+	// can only divert a bounded share of the return current.
+	if worstErr > 0.35 {
+		t.Errorf("worst-case vertical-array error %.1f%% implausibly large", worstErr*100)
+	}
+	t.Logf("ignoring a grounded N−2 array costs at most %.1f%% of loop L", worstErr*100)
+}

@@ -1,0 +1,88 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteSPICE emits the netlist as a SPICE deck so extracted segments
+// can be handed to an external simulator. Node "0" is SPICE ground;
+// other node names have characters SPICE dislikes replaced by
+// underscores. Mutual inductances are emitted as K elements with
+// coupling coefficients (SPICE convention), sources as PWL/DC/ramp
+// equivalents.
+func (n *Netlist) WriteSPICE(w io.Writer, title string) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "* %s\n", title)
+	node := func(s string) string {
+		if s == Ground || s == "gnd" {
+			return "0"
+		}
+		r := strings.NewReplacer(".", "_", " ", "_", ",", "_", "(", "_", ")", "_")
+		return r.Replace(s)
+	}
+	name := func(s string) string { return node(s) } // same sanitation
+	for i, r := range n.Resistors {
+		fmt.Fprintf(&b, "R%s %s %s %.9g\n", nameOrIdx(name(r.Name), "r", i), node(r.A), node(r.B), r.R)
+	}
+	for i, c := range n.Capacitors {
+		fmt.Fprintf(&b, "C%s %s %s %.9g\n", nameOrIdx(name(c.Name), "c", i), node(c.A), node(c.B), c.C)
+	}
+	for i, l := range n.Inductors {
+		fmt.Fprintf(&b, "L%s %s %s %.9g\n", nameOrIdx(name(l.Name), "l", i), node(l.A), node(l.B), l.L)
+	}
+	for i, k := range n.Mutuals {
+		l1 := "L" + nameOrIdx(name(n.Inductors[k.L1].Name), "l", k.L1)
+		l2 := "L" + nameOrIdx(name(n.Inductors[k.L2].Name), "l", k.L2)
+		coeff := k.M / math.Sqrt(n.Inductors[k.L1].L*n.Inductors[k.L2].L)
+		fmt.Fprintf(&b, "K%s %s %s %.9g\n", nameOrIdx(name(k.Name), "k", i), l1, l2, coeff)
+	}
+	for i, v := range n.VSources {
+		fmt.Fprintf(&b, "V%s %s %s %s\n", nameOrIdx(name(v.Name), "v", i), node(v.A), node(v.B), spiceWave(v.Wave))
+	}
+	fmt.Fprintln(&b, ".end")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func nameOrIdx(name, prefix string, i int) string {
+	if name == "" {
+		return fmt.Sprintf("%s%d", prefix, i)
+	}
+	return name
+}
+
+// spiceWave renders a waveform as a SPICE source specification.
+func spiceWave(w Waveform) string {
+	switch s := w.(type) {
+	case DC:
+		return fmt.Sprintf("DC %.9g", float64(s))
+	case Ramp:
+		if s.Rise <= 0 {
+			return fmt.Sprintf("PWL(0 %.9g %.12g %.9g %.12g %.9g)",
+				s.V0, s.Start, s.V0, s.Start+1e-15, s.V1)
+		}
+		return fmt.Sprintf("PWL(0 %.9g %.12g %.9g %.12g %.9g)",
+			s.V0, s.Start, s.V0, s.Start+s.Rise, s.V1)
+	case PWL:
+		var b strings.Builder
+		b.WriteString("PWL(")
+		for i := range s.T {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.12g %.9g", s.T[i], s.V[i])
+		}
+		b.WriteByte(')')
+		return b.String()
+	default:
+		// Sample unknown waveforms coarsely; better than dropping the
+		// source.
+		return fmt.Sprintf("DC %.9g", w.At(0))
+	}
+}

@@ -1,0 +1,74 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteSPICEDeckStructure(t *testing.T) {
+	n := New()
+	n.AddV("vin", "in", Ground, Ramp{V0: 0, V1: 1, Start: 1e-11, Rise: 5e-11})
+	n.AddR("rd", "in", "seg.n1", 40)
+	i1 := n.AddL("l1", "seg.n1", "seg.n2", 1e-9)
+	i2 := n.AddL("l2", "seg.n2", "out", 2e-9)
+	n.AddK("k12", i1, i2, 0.5e-9)
+	n.AddC("cl", "out", "gnd", 50e-15)
+
+	var buf bytes.Buffer
+	if err := n.WriteSPICE(&buf, "test deck"); err != nil {
+		t.Fatal(err)
+	}
+	deck := buf.String()
+	for _, want := range []string{
+		"* test deck",
+		"Rrd in seg_n1 40",
+		"Ll1 seg_n1 seg_n2 1e-09",
+		"Ll2 seg_n2 out 2e-09",
+		"Ccl out 0 5e-14",
+		"Vvin in 0 PWL(0 0 1e-11 0 6e-11 1)",
+		".end",
+	} {
+		if !strings.Contains(deck, want) {
+			t.Errorf("deck missing %q:\n%s", want, deck)
+		}
+	}
+	// Coupling coefficient: 0.5n/sqrt(1n·2n) = 0.3535...
+	if !strings.Contains(deck, "Kk12 Ll1 Ll2 0.35355") {
+		t.Errorf("deck K line wrong:\n%s", deck)
+	}
+}
+
+func TestWriteSPICEWaveforms(t *testing.T) {
+	n := New()
+	n.AddV("vdc", "a", Ground, DC(1.8))
+	n.AddV("vpwl", "b", Ground, PWL{T: []float64{0, 1e-9}, V: []float64{0, 2}})
+	n.AddV("vstep", "c", Ground, Ramp{V0: 0, V1: 1, Start: 1e-9, Rise: 0})
+	n.AddR("ra", "a", Ground, 1)
+	n.AddR("rb", "b", Ground, 1)
+	n.AddR("rc", "c", Ground, 1)
+	var buf bytes.Buffer
+	if err := n.WriteSPICE(&buf, "waves"); err != nil {
+		t.Fatal(err)
+	}
+	deck := buf.String()
+	if !strings.Contains(deck, "DC 1.8") {
+		t.Errorf("DC source missing:\n%s", deck)
+	}
+	if !strings.Contains(deck, "PWL(0 0 1e-09 2)") {
+		t.Errorf("PWL source missing:\n%s", deck)
+	}
+	// Zero-rise ramp becomes a 1 fs edge.
+	if !strings.Contains(deck, "1.000001e-09 1") {
+		t.Errorf("step source missing:\n%s", deck)
+	}
+}
+
+func TestWriteSPICERejectsInvalid(t *testing.T) {
+	n := New()
+	n.AddR("bad", "a", "b", -1)
+	var buf bytes.Buffer
+	if err := n.WriteSPICE(&buf, "x"); err == nil {
+		t.Error("emitted an invalid netlist")
+	}
+}

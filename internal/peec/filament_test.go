@@ -1,0 +1,153 @@
+package peec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clockrlc/internal/units"
+)
+
+func TestMutualFilamentsMatchesAlignedSpecialCase(t *testing.T) {
+	l := units.Um(1000)
+	for _, d := range []float64{units.Um(1), units.Um(5), units.Um(50)} {
+		general := MutualFilaments(0, l, 0, l, d)
+		aligned := MutualFilamentsAligned(l, d)
+		if math.Abs(general-aligned) > 1e-18+1e-12*aligned {
+			t.Errorf("d=%g: general %g != aligned %g", d, general, aligned)
+		}
+	}
+}
+
+// The Neumann double integral evaluated numerically must match the
+// closed form for an offset pair.
+func TestMutualFilamentsAgainstNumericalNeumann(t *testing.T) {
+	a0, a1 := 0.0, units.Um(300)
+	b0, b1 := units.Um(120), units.Um(560)
+	d := units.Um(7)
+	closed := MutualFilaments(a0, a1, b0, b1, d)
+	// Simpson-ish midpoint quadrature of µ0/4π ∫∫ dx dy / r.
+	n := 4000
+	ha := (a1 - a0) / float64(n)
+	hb := (b1 - b0) / float64(n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := a0 + (float64(i)+0.5)*ha
+		for j := 0; j < n; j++ {
+			y := b0 + (float64(j)+0.5)*hb
+			sum += 1 / math.Hypot(x-y, d)
+		}
+	}
+	numeric := units.Mu0 / (4 * math.Pi) * sum * ha * hb
+	if rel := math.Abs(closed-numeric) / numeric; rel > 2e-3 {
+		t.Errorf("closed form %g vs numeric %g (rel err %g)", closed, numeric, rel)
+	}
+}
+
+func TestMutualFilamentsCollinear(t *testing.T) {
+	// Two collinear filaments, lengths l and m separated by gap g:
+	// Grover: M = (µ0/4π)[(l+m+g)ln(l+m+g) − (l+g)ln(l+g) −
+	//               (m+g)ln(m+g) + g·ln g]
+	l, m, g := units.Um(100), units.Um(250), units.Um(30)
+	got := MutualFilaments(0, l, l+g, l+g+m, 0)
+	f := func(x float64) float64 {
+		if x == 0 {
+			return 0
+		}
+		return x * math.Log(x)
+	}
+	want := units.Mu0 / (4 * math.Pi) * (f(l+m+g) - f(l+g) - f(m+g) + f(g))
+	// The closed form in MutualFilaments also carries the −x terms but
+	// they cancel exactly for the four arguments; verify totals agree.
+	if math.Abs(got-want) > 1e-18+1e-9*math.Abs(want) {
+		t.Errorf("collinear M = %g, want %g", got, want)
+	}
+	if got <= 0 {
+		t.Errorf("collinear mutual must be positive, got %g", got)
+	}
+}
+
+func TestMutualFilamentsCollinearOverlapInfinite(t *testing.T) {
+	if v := MutualFilaments(0, 2, 1, 3, 0); !math.IsInf(v, 1) {
+		t.Errorf("overlapping collinear filaments: got %g, want +Inf", v)
+	}
+}
+
+func TestMutualFilamentsEndpointOrderInvariance(t *testing.T) {
+	a := MutualFilaments(0, 1e-3, 2e-4, 9e-4, 1e-5)
+	b := MutualFilaments(1e-3, 0, 9e-4, 2e-4, -1e-5)
+	if math.Abs(a-b) > 1e-20 {
+		t.Errorf("endpoint order changed result: %g vs %g", a, b)
+	}
+}
+
+// Reciprocity: swapping the two filaments leaves M unchanged.
+func TestQuickMutualFilamentsReciprocity(t *testing.T) {
+	f := func(p, q, r, s uint16, du uint8) bool {
+		a0 := float64(p%1000) * 1e-6
+		a1 := a0 + float64(q%1000+1)*1e-6
+		b0 := float64(r%1000) * 1e-6
+		b1 := b0 + float64(s%1000+1)*1e-6
+		d := (float64(du%50) + 1) * 1e-6
+		m1 := MutualFilaments(a0, a1, b0, b1, d)
+		m2 := MutualFilaments(b0, b1, a0, a1, d)
+		return math.Abs(m1-m2) <= 1e-18+1e-12*math.Abs(m1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Mutual inductance decays monotonically with distance.
+func TestMutualFilamentsMonotoneInDistance(t *testing.T) {
+	l := units.Um(2000)
+	prev := math.Inf(1)
+	for d := units.Um(1); d < units.Um(100); d += units.Um(1) {
+		m := MutualFilamentsAligned(l, d)
+		if m >= prev {
+			t.Fatalf("M(%g) = %g not < M(prev) = %g", d, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestSelfGMDAgainstRuehli(t *testing.T) {
+	// The two classical approximations agree to ~1% for long thin bars.
+	cases := []struct{ l, w, t float64 }{
+		{units.Um(1000), units.Um(1), units.Um(1)},
+		{units.Um(6000), units.Um(10), units.Um(2)},
+		{units.Um(500), units.Um(2), units.Um(0.5)},
+	}
+	for _, c := range cases {
+		a := SelfGMD(c.l, c.w, c.t)
+		b := SelfRuehli(c.l, c.w, c.t)
+		if rel := math.Abs(a-b) / b; rel > 0.02 {
+			t.Errorf("l=%g w=%g t=%g: SelfGMD %g vs SelfRuehli %g (rel %g)",
+				c.l, c.w, c.t, a, b, rel)
+		}
+	}
+}
+
+// The paper (Sec. V): self inductance is super-linear in length; going
+// from 1000 µm to 2000 µm increases Lp by roughly 2.1–2.4×.
+func TestSelfInductanceSuperlinearity(t *testing.T) {
+	w, th := units.Um(1.2), units.Um(1)
+	l1 := SelfGMD(units.Um(1000), w, th)
+	l2 := SelfGMD(units.Um(2000), w, th)
+	ratio := l2 / l1
+	if ratio <= 2.0 {
+		t.Errorf("self L must grow super-linearly: ratio = %g", ratio)
+	}
+	if ratio < 2.05 || ratio > 2.4 {
+		t.Errorf("ratio = %g outside the paper's ≈2.1–2.4 band", ratio)
+	}
+}
+
+func TestMutualSuperlinearity(t *testing.T) {
+	d := units.Um(5)
+	m1 := MutualFilamentsAligned(units.Um(1000), d)
+	m2 := MutualFilamentsAligned(units.Um(2000), d)
+	if r := m2 / m1; r <= 2.0 || r > 2.6 {
+		t.Errorf("mutual L ratio for 2× length = %g, want super-linear ≈2.1–2.5", r)
+	}
+}

@@ -1,0 +1,116 @@
+package peec
+
+import (
+	"math"
+	"testing"
+
+	"clockrlc/internal/geom"
+	"clockrlc/internal/units"
+)
+
+func fig1SignalBar() Bar {
+	// The Fig. 1 clock trace: 6000 µm long, 10 µm wide, 2 µm thick.
+	return xbar(0, 0, 0, units.Um(6000), units.Um(10), units.Um(2))
+}
+
+func TestEffectiveRLDCLimits(t *testing.T) {
+	b := fig1SignalBar()
+	rl, err := EffectiveRL(b, units.RhoCopper, 0, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantR := units.RhoCopper * b.L / (b.W * b.T)
+	if rel := math.Abs(rl.R-wantR) / wantR; rel > 1e-9 {
+		t.Errorf("DC R = %g, want %g", rl.R, wantR)
+	}
+	// DC inductance must be close to the uniform-current self Lp.
+	self := HoerLoveSelf(b)
+	if rel := math.Abs(rl.L-self) / self; rel > 0.01 {
+		t.Errorf("DC L = %g, want ≈ self Lp %g", rl.L, self)
+	}
+}
+
+func TestEffectiveRLSkinEffectTrends(t *testing.T) {
+	b := fig1SignalBar()
+	var prev RL
+	first := true
+	for _, f := range []float64{0, 1e9, 3.2e9, 10e9, 30e9} {
+		rl, err := EffectiveRL(b, units.RhoCopper, f, 10, 4)
+		if err != nil {
+			t.Fatalf("f=%g: %v", f, err)
+		}
+		if !first {
+			if rl.R < prev.R*(1-1e-9) {
+				t.Errorf("R must not decrease with frequency: R(%g)=%g < %g", f, rl.R, prev.R)
+			}
+			if rl.L > prev.L*(1+1e-9) {
+				t.Errorf("L must not increase with frequency: L(%g)=%g > %g", f, rl.L, prev.L)
+			}
+		}
+		prev, first = rl, false
+	}
+	// At 30 GHz the skin depth (≈0.38 µm) is well below the half
+	// thickness, so AC resistance must exceed DC noticeably.
+	rdc := units.RhoCopper * b.L / (b.W * b.T)
+	if prev.R < 1.3*rdc {
+		t.Errorf("R(30GHz) = %g, want ≥ 1.3×Rdc = %g", prev.R, 1.3*rdc)
+	}
+}
+
+func TestEffectiveRLValidation(t *testing.T) {
+	if _, err := EffectiveRL(Bar{}, units.RhoCopper, 1e9, 2, 2); err == nil {
+		t.Error("EffectiveRL accepted an invalid bar")
+	}
+	if _, err := EffectiveRL(fig1SignalBar(), -1, 1e9, 2, 2); err == nil {
+		t.Error("EffectiveRL accepted a negative resistivity")
+	}
+}
+
+func TestFilamentsPartitionBar(t *testing.T) {
+	b := fig1SignalBar()
+	fs := Filaments(b, 5, 2)
+	if len(fs) != 10 {
+		t.Fatalf("filament count = %d", len(fs))
+	}
+	var area float64
+	for _, f := range fs {
+		if f.L != b.L {
+			t.Errorf("filament length %g != bar length %g", f.L, b.L)
+		}
+		area += f.W * f.T
+	}
+	if rel := math.Abs(area-b.W*b.T) / (b.W * b.T); rel > 1e-12 {
+		t.Errorf("filament areas sum to %g, bar area %g", area, b.W*b.T)
+	}
+}
+
+func TestPlaneStripsCoverPlane(t *testing.T) {
+	p := pgPlane()
+	strips := PlaneStrips(p, 0, units.Um(1000), 9)
+	if len(strips) != 9 {
+		t.Fatalf("strip count = %d", len(strips))
+	}
+	var w float64
+	for _, s := range strips {
+		w += s.W
+		if s.T != p.Thickness {
+			t.Errorf("strip thickness %g != plane %g", s.T, p.Thickness)
+		}
+	}
+	if math.Abs(w-p.Width) > 1e-12*p.Width {
+		t.Errorf("strip widths sum to %g, plane width %g", w, p.Width)
+	}
+	// First strip starts at the plane's left edge.
+	if math.Abs(strips[0].O[1]-(-p.Width/2)) > 1e-18 {
+		t.Errorf("first strip starts at %g, want %g", strips[0].O[1], -p.Width/2)
+	}
+}
+
+func pgPlane() geom.GroundPlane {
+	return geom.GroundPlane{
+		Z:         -units.Um(3),
+		Thickness: units.Um(1),
+		Width:     units.Um(90),
+		Rho:       units.RhoCopper,
+	}
+}

@@ -1,0 +1,184 @@
+package peec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clockrlc/internal/units"
+)
+
+func xbar(x0, y0, z0, l, w, t float64) Bar {
+	return Bar{Axis: AxisX, O: [3]float64{x0, y0, z0}, L: l, W: w, T: t}
+}
+
+func TestHoerLoveSelfAgainstRuehliApproximation(t *testing.T) {
+	cases := []struct{ l, w, th float64 }{
+		{units.Um(1000), units.Um(1), units.Um(1)},
+		{units.Um(6000), units.Um(10), units.Um(2)},
+		{units.Um(2000), units.Um(5), units.Um(1)},
+		{units.Um(300), units.Um(1.2), units.Um(1.2)},
+	}
+	for _, c := range cases {
+		exact := HoerLoveSelf(xbar(0, 0, 0, c.l, c.w, c.th))
+		approx := SelfRuehli(c.l, c.w, c.th)
+		if exact <= 0 {
+			t.Fatalf("l=%g: non-positive self inductance %g", c.l, exact)
+		}
+		if rel := math.Abs(exact-approx) / approx; rel > 0.02 {
+			t.Errorf("l=%g w=%g t=%g: HoerLove %g vs Ruehli %g (rel %g)",
+				c.l, c.w, c.th, exact, approx, rel)
+		}
+	}
+}
+
+func TestHoerLoveSelfAgainstFilamentSubdivision(t *testing.T) {
+	b := xbar(0, 0, 0, units.Um(800), units.Um(4), units.Um(2))
+	exact := HoerLoveSelf(b)
+	approx := SelfSubdivided(b, 10, 6)
+	if rel := math.Abs(exact-approx) / exact; rel > 0.01 {
+		t.Errorf("HoerLoveSelf %g vs SelfSubdivided %g (rel %g)", exact, approx, rel)
+	}
+}
+
+func TestHoerLoveMutualAgainstFilamentQuadrature(t *testing.T) {
+	// Two close bars where the centre-filament approximation is poor
+	// but filament quadrature converges to the closed form.
+	a := xbar(0, 0, 0, units.Um(500), units.Um(10), units.Um(2))
+	b := xbar(0, units.Um(11), 0, units.Um(500), units.Um(10), units.Um(2))
+	exact := HoerLoveMutual(a, b)
+	quad := MutualSubdivided(a, b, 12, 4, 12, 4)
+	if exact <= 0 {
+		t.Fatalf("mutual must be positive for parallel currents, got %g", exact)
+	}
+	if rel := math.Abs(exact-quad) / exact; rel > 0.01 {
+		t.Errorf("HoerLoveMutual %g vs quadrature %g (rel %g)", exact, quad, rel)
+	}
+}
+
+func TestHoerLoveMutualFarApartMatchesFilament(t *testing.T) {
+	// Far apart, the bars look like filaments at the centre distance.
+	l := units.Um(1000)
+	d := units.Um(200)
+	a := xbar(0, 0, 0, l, units.Um(2), units.Um(1))
+	b := xbar(0, d, 0, l, units.Um(2), units.Um(1))
+	exact := HoerLoveMutual(a, b)
+	fil := MutualFilamentsAligned(l, d)
+	if rel := math.Abs(exact-fil) / fil; rel > 1e-3 {
+		t.Errorf("far mutual: HoerLove %g vs filament %g (rel %g)", exact, fil, rel)
+	}
+}
+
+func TestHoerLoveReciprocity(t *testing.T) {
+	a := xbar(0, 0, 0, units.Um(700), units.Um(3), units.Um(2))
+	b := xbar(units.Um(100), units.Um(9), units.Um(4), units.Um(400), units.Um(5), units.Um(1))
+	m1 := HoerLoveMutual(a, b)
+	m2 := HoerLoveMutual(b, a)
+	// The alternating 64-term sum incurs cancellation, so reciprocity
+	// holds to roundoff amplified by the condition of the sum, not to
+	// machine epsilon.
+	if math.Abs(m1-m2) > 1e-6*math.Abs(m1) {
+		t.Errorf("reciprocity violated: %g vs %g", m1, m2)
+	}
+}
+
+func TestHoerLoveOrthogonalIsZero(t *testing.T) {
+	a := xbar(0, 0, 0, units.Um(500), units.Um(2), units.Um(1))
+	b := Bar{Axis: AxisY, O: [3]float64{0, 0, units.Um(2)}, L: units.Um(500), W: units.Um(2), T: units.Um(1)}
+	if m := HoerLoveMutual(a, b); m != 0 {
+		t.Errorf("orthogonal mutual = %g, want 0", m)
+	}
+}
+
+func TestHoerLoveAxisYPairMatchesAxisXPair(t *testing.T) {
+	// A parallel pair rotated 90° in the plane must have identical
+	// mutual inductance.
+	ax := xbar(0, 0, 0, units.Um(500), units.Um(2), units.Um(1))
+	bx := xbar(units.Um(50), units.Um(8), units.Um(3), units.Um(400), units.Um(4), units.Um(1))
+	ay := Bar{Axis: AxisY, O: [3]float64{ax.O[1], ax.O[0], ax.O[2]}, L: ax.L, W: ax.W, T: ax.T}
+	by := Bar{Axis: AxisY, O: [3]float64{bx.O[1], bx.O[0], bx.O[2]}, L: bx.L, W: bx.W, T: bx.T}
+	mx := HoerLoveMutual(ax, bx)
+	my := HoerLoveMutual(ay, by)
+	if math.Abs(mx-my) > 1e-15*math.Abs(mx) {
+		t.Errorf("rotated pair mutual differs: %g vs %g", mx, my)
+	}
+}
+
+func TestHoerLoveMutualVerticalOffset(t *testing.T) {
+	// Coupling through the z offset (trace over plane strip geometry):
+	// must be positive and decay with increasing z separation.
+	l := units.Um(1000)
+	a := xbar(0, 0, 0, l, units.Um(4), units.Um(1))
+	prev := math.Inf(1)
+	for _, dz := range []float64{2, 4, 8, 16, 32} {
+		b := xbar(0, 0, units.Um(dz), l, units.Um(4), units.Um(1))
+		m := HoerLoveMutual(a, b)
+		if m <= 0 || m >= prev {
+			t.Fatalf("dz=%gum: m=%g prev=%g (want positive, decaying)", dz, m, prev)
+		}
+		prev = m
+	}
+}
+
+// Partial-inductance matrices are symmetric positive definite: the
+// magnetic energy ½ iᵀ L i of any current distribution is positive.
+func TestQuickPartialMatrixPositiveDefinite(t *testing.T) {
+	f := func(seed int64) bool {
+		// Deterministic small arrays with varying geometry.
+		if seed < 0 {
+			seed = -seed
+		}
+		n := int(seed%4 + 2)
+		pitch := units.Um(float64(seed%7 + 3))
+		bars := make([]Bar, n)
+		for i := range bars {
+			bars[i] = xbar(0, float64(i)*pitch, 0, units.Um(500), units.Um(2), units.Um(1))
+		}
+		lp := PartialMatrix(bars)
+		// Energy of a few probe currents.
+		probes := [][]float64{
+			make([]float64, n),
+			make([]float64, n),
+		}
+		for i := 0; i < n; i++ {
+			probes[0][i] = 1
+			probes[1][i] = float64(i%2*2 - 1) // alternating ±1
+		}
+		for _, x := range probes {
+			e := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					e += x[i] * lp.At(i, j) * x[j]
+				}
+			}
+			if e <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartialMatrixDiagonalDominatesMutuals(t *testing.T) {
+	b := TraceArrayBars(5, units.Um(1000), units.Um(2), units.Um(2), units.Um(1))
+	lp := PartialMatrix(b)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i != j && lp.At(i, j) >= lp.At(i, i) {
+				t.Errorf("Lp[%d][%d]=%g >= Lp[%d][%d]=%g", i, j, lp.At(i, j), i, i, lp.At(i, i))
+			}
+		}
+	}
+}
+
+// TraceArrayBars is a test helper building n parallel equal bars.
+func TraceArrayBars(n int, l, w, s, th float64) []Bar {
+	bars := make([]Bar, n)
+	for i := range bars {
+		bars[i] = xbar(0, float64(i)*(w+s), 0, l, w, th)
+	}
+	return bars
+}

@@ -1,0 +1,98 @@
+package peec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clockrlc/internal/units"
+)
+
+// Physical invariant: the magnetic coupling coefficient of any pair of
+// parallel bars satisfies 0 < k < 1 (k = M/sqrt(L1·L2)); equality
+// would require perfectly shared flux, impossible for disjoint
+// conductors.
+func TestQuickCouplingCoefficientBounds(t *testing.T) {
+	f := func(wq, sq, lq, oq uint8) bool {
+		w1 := units.Um(float64(wq%10)/2 + 0.5)
+		w2 := units.Um(float64(wq%7)/2 + 0.5)
+		s := units.Um(float64(sq%20)/4 + 0.25)
+		l := units.Um(float64(lq%50)*20 + 100)
+		off := units.Um(float64(oq%5) * 10) // axial offset
+		a := Bar{Axis: AxisX, O: [3]float64{0, 0, 0}, L: l, W: w1, T: units.Um(1)}
+		b := Bar{Axis: AxisX, O: [3]float64{off, w1 + s, 0}, L: l, W: w2, T: units.Um(1)}
+		m := HoerLoveMutual(a, b)
+		k := m / math.Sqrt(HoerLoveSelf(a)*HoerLoveSelf(b))
+		return m > 0 && k > 0 && k < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Monotonicity: mutual inductance decreases as the bars separate, in
+// any transverse direction.
+func TestQuickMutualMonotoneDecay(t *testing.T) {
+	f := func(dq uint8, vertical bool) bool {
+		l := units.Um(800)
+		a := Bar{Axis: AxisX, O: [3]float64{0, 0, 0}, L: l, W: units.Um(2), T: units.Um(1)}
+		d1 := units.Um(float64(dq%30) + 3)
+		d2 := d1 + units.Um(2)
+		mk := func(d float64) Bar {
+			b := a
+			if vertical {
+				b.O[2] = d
+			} else {
+				b.O[1] = d
+			}
+			return b
+		}
+		return HoerLoveMutual(a, mk(d1)) > HoerLoveMutual(a, mk(d2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Additivity along the axis: a bar's self inductance exceeds the sum
+// of its halves' self inductances (the cross mutual is positive), and
+// equals halves + 2×(half-half mutual).
+func TestSelfDecomposesIntoHalves(t *testing.T) {
+	full := Bar{Axis: AxisX, O: [3]float64{0, 0, 0}, L: units.Um(1000), W: units.Um(3), T: units.Um(1)}
+	h1 := full
+	h1.L = full.L / 2
+	h2 := h1
+	h2.O[0] = full.O[0] + full.L/2
+	lFull := HoerLoveSelf(full)
+	l1 := HoerLoveSelf(h1)
+	l2 := HoerLoveSelf(h2)
+	m := HoerLoveMutual(h1, h2)
+	if m <= 0 {
+		t.Fatalf("collinear halves mutual = %g, want > 0", m)
+	}
+	sum := l1 + l2 + 2*m
+	if rel := math.Abs(lFull-sum) / lFull; rel > 1e-6 {
+		t.Errorf("self decomposition: full %g vs halves+2M %g (rel %g)", lFull, sum, rel)
+	}
+	if lFull <= l1+l2 {
+		t.Errorf("super-linearity violated: full %g <= %g", lFull, l1+l2)
+	}
+}
+
+// Scaling: all partial inductances scale linearly under uniform
+// geometric scaling up to the logarithm (L(αl, αw, αt) = α·L(l, w, t)
+// exactly, since inductance has dimension of length).
+func TestQuickSelfScalesWithGeometry(t *testing.T) {
+	f := func(sq uint8) bool {
+		alpha := float64(sq%8)/2 + 0.5
+		l, w, th := units.Um(500), units.Um(2), units.Um(1)
+		a := Bar{Axis: AxisX, L: l, W: w, T: th}
+		b := Bar{Axis: AxisX, L: alpha * l, W: alpha * w, T: alpha * th}
+		la := HoerLoveSelf(a)
+		lb := HoerLoveSelf(b)
+		return math.Abs(lb-alpha*la) < 1e-6*lb+1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,34 @@
+package peec
+
+import (
+	"clockrlc/internal/linalg"
+)
+
+// PartialMatrix computes the full partial inductance matrix Lp (H) of
+// a set of bars using the exact closed-form Hoer–Love integrals.
+// Entry (i, j) is the mutual partial inductance between bars i and j;
+// the diagonal holds self partial inductances. Orthogonal pairs are
+// exactly zero. The matrix is symmetric by reciprocity and the
+// implementation computes only the upper triangle.
+func PartialMatrix(bars []Bar) *linalg.Matrix {
+	n := len(bars)
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := HoerLoveMutual(bars[i], bars[j])
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+// DCResistances returns the DC resistance ρl/(wt) of each bar for a
+// shared resistivity rho (Ω·m).
+func DCResistances(bars []Bar, rho float64) []float64 {
+	out := make([]float64, len(bars))
+	for i, b := range bars {
+		out[i] = rho * b.L / (b.W * b.T)
+	}
+	return out
+}

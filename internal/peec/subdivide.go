@@ -1,0 +1,85 @@
+package peec
+
+import "math"
+
+// Filaments splits a bar's cross section into nw×nt equal sub-bars
+// ("volume filaments"). Each filament keeps the full length of the
+// parent. Used both for quadrature cross-checks of the closed forms
+// and for the skin-effect solver, where the current is allowed to
+// redistribute among filaments.
+func Filaments(b Bar, nw, nt int) []Bar {
+	if nw < 1 || nt < 1 {
+		panic("peec: Filaments needs nw, nt >= 1")
+	}
+	fw := b.W / float64(nw)
+	ft := b.T / float64(nt)
+	out := make([]Bar, 0, nw*nt)
+	for i := 0; i < nw; i++ {
+		for j := 0; j < nt; j++ {
+			f := Bar{Axis: b.Axis, L: b.L, W: fw, T: ft}
+			switch b.Axis {
+			case AxisX:
+				f.O = [3]float64{b.O[0], b.O[1] + float64(i)*fw, b.O[2] + float64(j)*ft}
+			default: // AxisY: W extends along x
+				f.O = [3]float64{b.O[0] + float64(i)*fw, b.O[1], b.O[2] + float64(j)*ft}
+			}
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// MutualSubdivided approximates the mutual partial inductance between
+// two parallel bars by averaging centre-line filament mutuals over an
+// na×nb filament grid per bar. It converges to HoerLoveMutual as the
+// grids refine and serves as an independent numerical check of the
+// closed form.
+func MutualSubdivided(a, b Bar, naw, nat, nbw, nbt int) float64 {
+	if a.Axis != b.Axis {
+		return 0
+	}
+	fa := Filaments(a, naw, nat)
+	fb := Filaments(b, nbw, nbt)
+	sum := 0.0
+	for _, p := range fa {
+		pc := p.canonical()
+		py := pc[1] + p.W/2
+		pz := pc[2] + p.T/2
+		for _, q := range fb {
+			qc := q.canonical()
+			qy := qc[1] + q.W/2
+			qz := qc[2] + q.T/2
+			dy := qy - py
+			dz := qz - pz
+			d := dy*dy + dz*dz
+			sum += MutualFilaments(pc[0], pc[0]+p.L, qc[0], qc[0]+q.L, sqrt(d))
+		}
+	}
+	return sum / float64(len(fa)*len(fb))
+}
+
+// SelfSubdivided approximates a bar's self partial inductance by the
+// filament grid: the average over all filament pairs, with each
+// filament's own contribution evaluated at its self-GMD.
+func SelfSubdivided(b Bar, nw, nt int) float64 {
+	fs := Filaments(b, nw, nt)
+	n := len(fs)
+	sum := 0.0
+	for i, p := range fs {
+		pc := p.canonical()
+		py, pz := pc[1]+p.W/2, pc[2]+p.T/2
+		for j, q := range fs {
+			if i == j {
+				sum += MutualFilamentsAligned(p.L, GMDSelf(p.W, p.T))
+				continue
+			}
+			qc := q.canonical()
+			qy, qz := qc[1]+q.W/2, qc[2]+q.T/2
+			dy, dz := qy-py, qz-pz
+			sum += MutualFilamentsAligned(p.L, sqrt(dy*dy+dz*dz))
+		}
+	}
+	return sum / float64(n*n)
+}
+
+func sqrt(v float64) float64 { return math.Sqrt(v) }

@@ -1,0 +1,65 @@
+// Package resist computes interconnect resistance: the analytic DC
+// value the paper uses ("resistance is calculated analytically [4]")
+// plus the skin-effect AC correction at the significant frequency,
+// obtained either from the closed-form skin-depth area model or from
+// the rigorous filament solver in internal/peec.
+package resist
+
+import (
+	"fmt"
+
+	"clockrlc/internal/geom"
+	"clockrlc/internal/peec"
+	"clockrlc/internal/units"
+)
+
+// DC returns the DC resistance ρ·l/(w·t) of a trace.
+func DC(length, width, thickness, rho float64) (float64, error) {
+	if length <= 0 || width <= 0 || thickness <= 0 || rho <= 0 {
+		return 0, fmt.Errorf("resist: arguments must be positive (l=%g w=%g t=%g ρ=%g)", length, width, thickness, rho)
+	}
+	return rho * length / (width * thickness), nil
+}
+
+// DCTrace is DC applied to a geometry trace.
+func DCTrace(t geom.Trace, rho float64) (float64, error) {
+	return DC(t.Length, t.Width, t.Thickness, rho)
+}
+
+// ACSkinArea returns the AC resistance of a rectangular trace at
+// frequency f using the effective-conduction-area model: current is
+// confined to a rim of one skin depth δ around the cross section, so
+//
+//	A_eff = w·t − max(0, w−2δ)·max(0, t−2δ)
+//	R_ac  = ρ·l / A_eff
+//
+// For δ large (low f) this degenerates to the DC value exactly.
+func ACSkinArea(length, width, thickness, rho, f float64) (float64, error) {
+	rdc, err := DC(length, width, thickness, rho)
+	if err != nil {
+		return 0, err
+	}
+	if f <= 0 {
+		return rdc, nil
+	}
+	delta := units.SkinDepth(rho, f)
+	wi := width - 2*delta
+	ti := thickness - 2*delta
+	if wi <= 0 || ti <= 0 {
+		return rdc, nil // fully penetrated: no skin confinement
+	}
+	aeff := width*thickness - wi*ti
+	return rho * length / aeff, nil
+}
+
+// ACFilament returns the rigorous AC resistance at frequency f from
+// the volume-filament impedance solve, capturing the true current
+// crowding rather than the rim approximation. nw×nt filaments are
+// used; 8×4 resolves on-chip cross sections at multi-GHz frequencies.
+func ACFilament(t geom.Trace, rho, f float64, nw, nt int) (float64, error) {
+	rl, err := peec.EffectiveRL(peec.BarFromTrace(t), rho, f, nw, nt)
+	if err != nil {
+		return 0, fmt.Errorf("resist: %w", err)
+	}
+	return rl.R, nil
+}

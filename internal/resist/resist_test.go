@@ -1,0 +1,103 @@
+package resist
+
+import (
+	"math"
+	"testing"
+
+	"clockrlc/internal/geom"
+	"clockrlc/internal/units"
+)
+
+func TestDCKnownValue(t *testing.T) {
+	// Fig. 1 signal trace: 6000 µm × 10 µm × 2 µm copper.
+	r, err := DC(units.Um(6000), units.Um(10), units.Um(2), units.RhoCopper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.RhoCopper * 6000e-6 / (10e-6 * 2e-6) // 5.04 Ω
+	if math.Abs(r-want) > 1e-12 {
+		t.Errorf("DC = %g, want %g", r, want)
+	}
+	if r < 4 || r > 6 {
+		t.Errorf("Fig.1 trace DC R = %g Ω, want ≈ 5 Ω", r)
+	}
+}
+
+func TestDCValidation(t *testing.T) {
+	for _, args := range [][4]float64{
+		{0, 1, 1, 1}, {1, 0, 1, 1}, {1, 1, 0, 1}, {1, 1, 1, 0},
+	} {
+		if _, err := DC(args[0], args[1], args[2], args[3]); err == nil {
+			t.Errorf("DC accepted %v", args)
+		}
+	}
+}
+
+func TestACSkinAreaLimits(t *testing.T) {
+	l, w, th := units.Um(6000), units.Um(10), units.Um(2)
+	rdc, _ := DC(l, w, th, units.RhoCopper)
+	// Low frequency: skin depth exceeds half-thickness → DC exactly.
+	low, err := ACSkinArea(l, w, th, units.RhoCopper, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low != rdc {
+		t.Errorf("AC(1 MHz) = %g, want DC %g", low, rdc)
+	}
+	// High frequency: must exceed DC.
+	high, err := ACSkinArea(l, w, th, units.RhoCopper, 30e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high <= rdc {
+		t.Errorf("AC(30 GHz) = %g, want > DC %g", high, rdc)
+	}
+	// Zero frequency passthrough.
+	z, _ := ACSkinArea(l, w, th, units.RhoCopper, 0)
+	if z != rdc {
+		t.Errorf("AC(0) = %g, want %g", z, rdc)
+	}
+}
+
+func TestACSkinAreaMonotone(t *testing.T) {
+	l, w, th := units.Um(1000), units.Um(10), units.Um(2)
+	prev := 0.0
+	for _, f := range []float64{1e9, 3.2e9, 10e9, 30e9, 100e9} {
+		r, err := ACSkinArea(l, w, th, units.RhoCopper, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < prev {
+			t.Fatalf("AC R decreased with frequency at %g Hz: %g < %g", f, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestACFilamentAgreesWithSkinAreaRoughly(t *testing.T) {
+	tr := geom.Trace{Length: units.Um(2000), Width: units.Um(10), Thickness: units.Um(2)}
+	f := 10e9
+	rig, err := ACFilament(tr, units.RhoCopper, f, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := ACSkinArea(tr.Length, tr.Width, tr.Thickness, units.RhoCopper, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rim model vs rigorous: same ballpark (factor < 1.6 apart).
+	ratio := rig / approx
+	if ratio < 0.6 || ratio > 1.6 {
+		t.Errorf("rigorous %g vs rim model %g (ratio %g)", rig, approx, ratio)
+	}
+	rdc, _ := DCTrace(tr, units.RhoCopper)
+	if rig < rdc {
+		t.Errorf("rigorous AC R %g below DC %g", rig, rdc)
+	}
+}
+
+func TestACFilamentValidation(t *testing.T) {
+	if _, err := ACFilament(geom.Trace{}, units.RhoCopper, 1e9, 4, 2); err == nil {
+		t.Error("ACFilament accepted an invalid trace")
+	}
+}

@@ -1,0 +1,68 @@
+// Package screen implements a quick self/mutual inductance
+// significance screen, in the spirit of the authors' companion work
+// ("Quick On-Chip Self- and Mutual-Inductance Screen", Lin/Chang/
+// Nakagawa): before paying for RLC extraction of a net, two cheap
+// criteria decide whether inductance can matter at all:
+//
+//  1. the switching edge must be fast relative to the line's time of
+//     flight (tr < 2·sqrt(L·C)), otherwise the wave is smeared away;
+//  2. the loop must be underdamped enough (ζ < 1 for the driver +
+//     line + load equivalent), otherwise resistance kills the ring.
+//
+// Nets failing either test get RC-only netlists; nets passing both go
+// through the paper's table-based RLC extraction.
+package screen
+
+import (
+	"fmt"
+
+	"clockrlc/internal/elmore"
+)
+
+// Verdict reports the screen's decision and its margins.
+type Verdict struct {
+	// Matters is true when both criteria pass.
+	Matters bool
+	// EdgeCriterion is tr / (2·tof); < 1 passes.
+	EdgeCriterion float64
+	// Damping is the ζ of the equivalent 2nd-order system; < 1 passes.
+	Damping float64
+	// TimeOfFlight is sqrt(L·C) for reference.
+	TimeOfFlight float64
+}
+
+// String renders a one-line summary.
+func (v Verdict) String() string {
+	verdict := "RC netlist is sufficient"
+	if v.Matters {
+		verdict = "inductance matters: extract RLC"
+	}
+	return fmt.Sprintf("%s (edge criterion %.2f, damping ζ = %.2f)",
+		verdict, v.EdgeCriterion, v.Damping)
+}
+
+// Check screens a driver + line + load configuration switching with
+// rise time tr.
+func Check(l elmore.Line, tr float64) (Verdict, error) {
+	if err := l.Validate(); err != nil {
+		return Verdict{}, err
+	}
+	if tr <= 0 {
+		return Verdict{}, fmt.Errorf("screen: rise time must be positive, got %g", tr)
+	}
+	v := Verdict{TimeOfFlight: elmore.TimeOfFlight(l)}
+	if v.TimeOfFlight <= 0 {
+		// No inductance extracted at all.
+		v.EdgeCriterion = 0
+		v.Damping = 0
+		return v, nil
+	}
+	v.EdgeCriterion = tr / (2 * v.TimeOfFlight)
+	var err error
+	v.Damping, err = elmore.DampingRatio(l)
+	if err != nil {
+		return Verdict{}, err
+	}
+	v.Matters = v.EdgeCriterion < 1 && v.Damping < 1
+	return v, nil
+}

@@ -1,0 +1,93 @@
+package screen
+
+import (
+	"strings"
+	"testing"
+
+	"clockrlc/internal/elmore"
+)
+
+func TestWideClockNetMatters(t *testing.T) {
+	// The paper's regime: wide low-R clock wire, strong driver, fast
+	// edge — inductance must matter.
+	l := elmore.Line{Rd: 10, R: 5, L: 2.3e-9, C: 1e-12, Cl: 50e-15}
+	v, err := Check(l, 30e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Matters {
+		t.Errorf("clock net screened out: %+v", v)
+	}
+	if !strings.Contains(v.String(), "extract RLC") {
+		t.Errorf("String() = %q", v.String())
+	}
+}
+
+func TestResistiveSignalWireDoesNotMatter(t *testing.T) {
+	// A long minimum-width signal wire: R dominates, ζ ≫ 1.
+	l := elmore.Line{Rd: 500, R: 800, L: 3e-9, C: 0.6e-12, Cl: 10e-15}
+	v, err := Check(l, 50e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Matters {
+		t.Errorf("resistive wire flagged inductive: %+v", v)
+	}
+	if v.Damping < 1 {
+		t.Errorf("expected overdamped, ζ = %g", v.Damping)
+	}
+}
+
+func TestSlowEdgeScreensOut(t *testing.T) {
+	// Same low-loss net, but a lazy edge smears the wave away.
+	l := elmore.Line{Rd: 10, R: 5, L: 2.3e-9, C: 1e-12, Cl: 50e-15}
+	v, err := Check(l, 2e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Matters {
+		t.Errorf("2 ns edge flagged inductive: %+v", v)
+	}
+	if v.EdgeCriterion < 1 {
+		t.Errorf("edge criterion = %g, want > 1", v.EdgeCriterion)
+	}
+}
+
+func TestRCOnlyLine(t *testing.T) {
+	l := elmore.Line{Rd: 40, R: 10, L: 0, C: 1e-12, Cl: 0}
+	v, err := Check(l, 50e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Matters || v.TimeOfFlight != 0 {
+		t.Errorf("L=0 line screened in: %+v", v)
+	}
+	if !strings.Contains(v.String(), "RC netlist") {
+		t.Errorf("String() = %q", v.String())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := elmore.Line{Rd: 40, R: 5, L: 1e-9, C: 1e-12}
+	if _, err := Check(good, 0); err == nil {
+		t.Error("accepted zero rise time")
+	}
+	if _, err := Check(elmore.Line{}, 1e-12); err == nil {
+		t.Error("accepted invalid line")
+	}
+}
+
+func TestMonotoneInRiseTime(t *testing.T) {
+	l := elmore.Line{Rd: 10, R: 5, L: 2.3e-9, C: 1e-12, Cl: 50e-15}
+	prev := -1.0
+	for _, tr := range []float64{10e-12, 30e-12, 100e-12, 300e-12} {
+		v, err := Check(l, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.EdgeCriterion <= prev {
+			t.Fatalf("edge criterion not increasing with tr: %g then %g", prev, v.EdgeCriterion)
+		}
+		prev = v.EdgeCriterion
+	}
+}

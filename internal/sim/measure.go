@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// CrossTime returns the first time the waveform crosses level in the
+// given direction (rising: from below to at-or-above), using linear
+// interpolation between samples. It returns an error when the
+// waveform never crosses.
+func CrossTime(t, v []float64, level float64, rising bool) (float64, error) {
+	if len(t) != len(v) {
+		return 0, fmt.Errorf("sim: CrossTime length mismatch %d vs %d", len(t), len(v))
+	}
+	if len(t) < 2 {
+		return 0, errors.New("sim: CrossTime needs at least two samples")
+	}
+	for i := 1; i < len(t); i++ {
+		a, b := v[i-1], v[i]
+		var hit bool
+		if rising {
+			hit = a < level && b >= level
+		} else {
+			hit = a > level && b <= level
+		}
+		if hit {
+			if b == a {
+				return t[i], nil
+			}
+			f := (level - a) / (b - a)
+			return t[i-1] + f*(t[i]-t[i-1]), nil
+		}
+	}
+	return 0, fmt.Errorf("sim: waveform never crosses %g", level)
+}
+
+// Delay50 returns the 50 %-swing delay from waveform "from" to
+// waveform "to", both sharing time axis t, for a transition from v0 to
+// v1. This is the paper's delay metric (buffer output to sink).
+func Delay50(t, from, to []float64, v0, v1 float64) (float64, error) {
+	level := v0 + 0.5*(v1-v0)
+	rising := v1 > v0
+	t1, err := CrossTime(t, from, level, rising)
+	if err != nil {
+		return 0, fmt.Errorf("sim: source waveform: %w", err)
+	}
+	t2, err := CrossTime(t, to, level, rising)
+	if err != nil {
+		return 0, fmt.Errorf("sim: sink waveform: %w", err)
+	}
+	return t2 - t1, nil
+}
+
+// DelayFromT0 returns the time the waveform first reaches the 50 %
+// level of a v0→v1 transition, measured from t = 0.
+func DelayFromT0(t, v []float64, v0, v1 float64) (float64, error) {
+	return CrossTime(t, v, v0+0.5*(v1-v0), v1 > v0)
+}
+
+// Overshoot returns the fractional overshoot of a waveform settling to
+// final value vf from below: (max − vf)/|swing|. Zero when the
+// waveform never exceeds vf. The undershoot of the subsequent ring is
+// (vf − min after the peak)/|swing|, returned second.
+func Overshoot(v []float64, v0, vf float64) (over, under float64) {
+	swing := math.Abs(vf - v0)
+	if swing == 0 || len(v) == 0 {
+		return 0, 0
+	}
+	maxV := v[0]
+	maxAt := 0
+	for i, x := range v {
+		if x > maxV {
+			maxV, maxAt = x, i
+		}
+	}
+	if maxV > vf {
+		over = (maxV - vf) / swing
+	}
+	minAfter := maxV
+	for _, x := range v[maxAt:] {
+		if x < minAfter {
+			minAfter = x
+		}
+	}
+	if over > 0 && minAfter < vf {
+		under = (vf - minAfter) / swing
+	}
+	return over, under
+}
+
+// RiseTime returns the 10 %–90 % rise time of a v0→v1 transition.
+func RiseTime(t, v []float64, v0, v1 float64) (float64, error) {
+	lo := v0 + 0.1*(v1-v0)
+	hi := v0 + 0.9*(v1-v0)
+	rising := v1 > v0
+	t10, err := CrossTime(t, v, lo, rising)
+	if err != nil {
+		return 0, err
+	}
+	t90, err := CrossTime(t, v, hi, rising)
+	if err != nil {
+		return 0, err
+	}
+	return t90 - t10, nil
+}
+
+// Skew returns max − min over a set of delays, plus the index of the
+// earliest and latest arrival.
+func Skew(delays []float64) (skew float64, earliest, latest int) {
+	if len(delays) == 0 {
+		return 0, -1, -1
+	}
+	earliest, latest = 0, 0
+	for i, d := range delays {
+		if d < delays[earliest] {
+			earliest = i
+		}
+		if d > delays[latest] {
+			latest = i
+		}
+	}
+	return delays[latest] - delays[earliest], earliest, latest
+}

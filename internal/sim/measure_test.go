@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCrossTimeInterpolates(t *testing.T) {
+	tm := []float64{0, 1, 2, 3}
+	v := []float64{0, 0.4, 0.8, 1.0}
+	got, err := CrossTime(tm, v, 0.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Between samples 1 and 2: 0.4 → 0.8, crossing 0.5 at f = 0.25.
+	if math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("CrossTime = %g, want 1.25", got)
+	}
+}
+
+func TestCrossTimeFalling(t *testing.T) {
+	tm := []float64{0, 1, 2}
+	v := []float64{1, 0.6, 0.2}
+	got, err := CrossTime(tm, v, 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("falling CrossTime = %g, want 1.25", got)
+	}
+}
+
+func TestCrossTimeErrors(t *testing.T) {
+	if _, err := CrossTime([]float64{0, 1}, []float64{0}, 0.5, true); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := CrossTime([]float64{0}, []float64{0}, 0.5, true); err == nil {
+		t.Error("accepted single sample")
+	}
+	if _, err := CrossTime([]float64{0, 1}, []float64{0, 0.2}, 0.5, true); err == nil {
+		t.Error("reported a crossing that never happens")
+	}
+}
+
+func TestDelay50(t *testing.T) {
+	tm := []float64{0, 1, 2, 3, 4}
+	from := []float64{0, 1, 1, 1, 1} // crosses 0.5 at t = 0.5
+	to := []float64{0, 0, 0, 1, 1}   // crosses 0.5 at t = 2.5
+	d, err := Delay50(tm, from, to, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-2.0) > 1e-12 {
+		t.Errorf("Delay50 = %g, want 2", d)
+	}
+}
+
+func TestOvershootAndUndershoot(t *testing.T) {
+	v := []float64{0, 0.5, 1.3, 0.8, 1.05, 0.98, 1.0}
+	over, under := Overshoot(v, 0, 1)
+	if math.Abs(over-0.3) > 1e-12 {
+		t.Errorf("overshoot = %g, want 0.3", over)
+	}
+	if math.Abs(under-0.2) > 1e-12 {
+		t.Errorf("undershoot = %g, want 0.2", under)
+	}
+	// Monotone waveform: zero overshoot.
+	over, under = Overshoot([]float64{0, 0.5, 0.9, 1.0}, 0, 1)
+	if over != 0 || under != 0 {
+		t.Errorf("monotone waveform reported over=%g under=%g", over, under)
+	}
+	// Degenerate inputs.
+	if o, u := Overshoot(nil, 0, 1); o != 0 || u != 0 {
+		t.Error("nil waveform must report zero")
+	}
+	if o, u := Overshoot([]float64{1, 2}, 1, 1); o != 0 || u != 0 {
+		t.Error("zero swing must report zero")
+	}
+}
+
+func TestRiseTime(t *testing.T) {
+	// Linear ramp 0→1 over [0, 1]: 10–90 takes 0.8.
+	tm := make([]float64, 101)
+	v := make([]float64, 101)
+	for i := range tm {
+		tm[i] = float64(i) / 100
+		v[i] = tm[i]
+	}
+	rt, err := RiseTime(tm, v, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rt-0.8) > 1e-9 {
+		t.Errorf("RiseTime = %g, want 0.8", rt)
+	}
+}
+
+func TestSkew(t *testing.T) {
+	s, e, l := Skew([]float64{3, 1, 4, 1.5})
+	if s != 3 || e != 1 || l != 2 {
+		t.Errorf("Skew = (%g, %d, %d), want (3, 1, 2)", s, e, l)
+	}
+	if s, e, l := Skew(nil); s != 0 || e != -1 || l != -1 {
+		t.Error("empty Skew must be degenerate")
+	}
+}

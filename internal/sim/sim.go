@@ -1,0 +1,222 @@
+// Package sim is the SPICE stand-in: a modified-nodal-analysis (MNA)
+// transient simulator for the linear RLC(+K) netlists the extractor
+// produces. Integration is trapezoidal with a fixed step; because the
+// circuits are linear and time appears only in the sources, the system
+// matrix is factored once and each step is a single back-substitution —
+// exactly the structure SPICE exploits for linear networks.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"clockrlc/internal/linalg"
+	"clockrlc/internal/netlist"
+)
+
+// mna holds the assembled descriptor system G·x + C·ẋ = b(t) where x
+// stacks node voltages, inductor currents and source currents.
+type mna struct {
+	nl       *netlist.Netlist
+	nodeIdx  map[string]int // node name → column (ground absent)
+	nNodes   int
+	indBase  int // first inductor-current column
+	srcBase  int // first source-current column
+	dim      int
+	g, c     *linalg.Matrix
+	srcNodes [][2]int // per source: (A idx, B idx), -1 = ground
+}
+
+func nodeOf(m map[string]int, name string) int {
+	if name == netlist.Ground || name == "gnd" {
+		return -1
+	}
+	return m[name]
+}
+
+func assemble(nl *netlist.Netlist) (*mna, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := nl.Nodes()
+	m := &mna{
+		nl:      nl,
+		nodeIdx: make(map[string]int, len(nodes)),
+		nNodes:  len(nodes),
+	}
+	for i, n := range nodes {
+		m.nodeIdx[n] = i
+	}
+	m.indBase = m.nNodes
+	m.srcBase = m.nNodes + len(nl.Inductors)
+	m.dim = m.srcBase + len(nl.VSources)
+	if m.dim == 0 {
+		return nil, errors.New("sim: empty circuit")
+	}
+	m.g = linalg.NewMatrix(m.dim, m.dim)
+	m.c = linalg.NewMatrix(m.dim, m.dim)
+
+	stampPair := func(mat *linalg.Matrix, a, b int, v float64) {
+		if a >= 0 {
+			mat.Add(a, a, v)
+		}
+		if b >= 0 {
+			mat.Add(b, b, v)
+		}
+		if a >= 0 && b >= 0 {
+			mat.Add(a, b, -v)
+			mat.Add(b, a, -v)
+		}
+	}
+	for _, r := range nl.Resistors {
+		stampPair(m.g, nodeOf(m.nodeIdx, r.A), nodeOf(m.nodeIdx, r.B), 1/r.R)
+	}
+	for _, c := range nl.Capacitors {
+		stampPair(m.c, nodeOf(m.nodeIdx, c.A), nodeOf(m.nodeIdx, c.B), c.C)
+	}
+	for k, l := range nl.Inductors {
+		row := m.indBase + k
+		a, b := nodeOf(m.nodeIdx, l.A), nodeOf(m.nodeIdx, l.B)
+		// KCL: branch current leaves A, enters B.
+		if a >= 0 {
+			m.g.Add(a, row, 1)
+			m.g.Add(row, a, 1)
+		}
+		if b >= 0 {
+			m.g.Add(b, row, -1)
+			m.g.Add(row, b, -1)
+		}
+		// Branch equation: v_A − v_B − L·di/dt (− M terms) = 0.
+		m.c.Add(row, row, -l.L)
+	}
+	for _, mu := range nl.Mutuals {
+		r1 := m.indBase + mu.L1
+		r2 := m.indBase + mu.L2
+		m.c.Add(r1, r2, -mu.M)
+		m.c.Add(r2, r1, -mu.M)
+	}
+	m.srcNodes = make([][2]int, len(nl.VSources))
+	for k, v := range nl.VSources {
+		row := m.srcBase + k
+		a, b := nodeOf(m.nodeIdx, v.A), nodeOf(m.nodeIdx, v.B)
+		m.srcNodes[k] = [2]int{a, b}
+		if a >= 0 {
+			m.g.Add(a, row, 1)
+			m.g.Add(row, a, 1)
+		}
+		if b >= 0 {
+			m.g.Add(b, row, -1)
+			m.g.Add(row, b, -1)
+		}
+	}
+	return m, nil
+}
+
+// rhs fills b(t): source rows carry the source voltages.
+func (m *mna) rhs(t float64, b []float64) {
+	for i := range b {
+		b[i] = 0
+	}
+	for k, v := range m.nl.VSources {
+		b[m.srcBase+k] = v.Wave.At(t)
+	}
+}
+
+// Result holds a transient run: the time axis and the probed node
+// voltage waveforms.
+type Result struct {
+	Time   []float64
+	Probes map[string][]float64
+}
+
+// Waveform returns the samples for a probed node.
+func (r *Result) Waveform(node string) ([]float64, error) {
+	w, ok := r.Probes[node]
+	if !ok {
+		return nil, fmt.Errorf("sim: node %q was not probed", node)
+	}
+	return w, nil
+}
+
+// Transient runs a fixed-step trapezoidal simulation from 0 to tstop
+// with step h, recording the voltages of the probe nodes (ground may
+// be probed and is identically zero). The initial state is the DC
+// operating point of the sources at t = 0.
+func Transient(nl *netlist.Netlist, h, tstop float64, probes []string) (*Result, error) {
+	if h <= 0 || tstop <= 0 || tstop < h {
+		return nil, fmt.Errorf("sim: bad time grid (h=%g, tstop=%g)", h, tstop)
+	}
+	m, err := assemble(nl)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range probes {
+		if p == netlist.Ground || p == "gnd" {
+			continue
+		}
+		if _, ok := m.nodeIdx[p]; !ok {
+			return nil, fmt.Errorf("sim: unknown probe node %q", p)
+		}
+	}
+
+	// DC operating point: G·x = b(0).
+	b0 := make([]float64, m.dim)
+	m.rhs(0, b0)
+	gf, err := linalg.Factor(m.g)
+	if err != nil {
+		return nil, fmt.Errorf("sim: DC operating point is singular (floating node or inductor loop): %w", err)
+	}
+	x, err := gf.Solve(b0)
+	if err != nil {
+		return nil, fmt.Errorf("sim: DC solve: %w", err)
+	}
+
+	// Trapezoidal system matrix A = G + (2/h)·C, factored once.
+	a := m.g.Clone()
+	s := 2 / h
+	for i, v := range m.c.Data {
+		a.Data[i] += s * v
+	}
+	af, err := linalg.Factor(a)
+	if err != nil {
+		return nil, fmt.Errorf("sim: transient matrix singular: %w", err)
+	}
+
+	steps := int(tstop/h + 0.5)
+	res := &Result{
+		Time:   make([]float64, 0, steps+1),
+		Probes: make(map[string][]float64, len(probes)),
+	}
+	record := func(t float64, x []float64) {
+		res.Time = append(res.Time, t)
+		for _, p := range probes {
+			var v float64
+			if idx := nodeOf(m.nodeIdx, p); idx >= 0 {
+				v = x[idx]
+			}
+			res.Probes[p] = append(res.Probes[p], v)
+		}
+	}
+	record(0, x)
+
+	bNext := make([]float64, m.dim)
+	rhsVec := make([]float64, m.dim)
+	for n := 1; n <= steps; n++ {
+		t0 := float64(n-1) * h
+		t1 := float64(n) * h
+		// rhs = (2/h)C·x0 − G·x0 + b(t0) + b(t1)
+		cx := m.c.MulVec(x)
+		gx := m.g.MulVec(x)
+		m.rhs(t0, rhsVec)
+		m.rhs(t1, bNext)
+		for i := range rhsVec {
+			rhsVec[i] += bNext[i] + s*cx[i] - gx[i]
+		}
+		x, err = af.Solve(rhsVec)
+		if err != nil {
+			return nil, fmt.Errorf("sim: step %d: %w", n, err)
+		}
+		record(t1, x)
+	}
+	return res, nil
+}

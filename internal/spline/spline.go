@@ -1,0 +1,238 @@
+// Package spline implements natural cubic spline interpolation in one
+// dimension and tensor-product spline interpolation over N-dimensional
+// rectilinear grids — the "bi-cubic spline algorithm [10]" the paper
+// uses to interpolate and extrapolate its inductance tables (the
+// reference is Numerical Recipes' spline/splint/splin2 family).
+package spline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Spline1D is a natural cubic spline through strictly increasing
+// abscissae.
+type Spline1D struct {
+	xs, ys, y2 []float64
+}
+
+// New1D constructs a natural cubic spline (second derivative zero at
+// both ends) through the points (xs[i], ys[i]). xs must be strictly
+// increasing with at least two points.
+func New1D(xs, ys []float64) (*Spline1D, error) {
+	n := len(xs)
+	if n != len(ys) {
+		return nil, fmt.Errorf("spline: %d abscissae but %d ordinates", n, len(ys))
+	}
+	if n < 2 {
+		return nil, errors.New("spline: need at least two points")
+	}
+	for i := 1; i < n; i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, fmt.Errorf("spline: abscissae must be strictly increasing (x[%d]=%g, x[%d]=%g)",
+				i-1, xs[i-1], i, xs[i])
+		}
+	}
+	s := &Spline1D{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+		y2: make([]float64, n),
+	}
+	// Tridiagonal solve for second derivatives, natural boundary
+	// conditions (Numerical Recipes "spline").
+	u := make([]float64, n)
+	for i := 1; i < n-1; i++ {
+		sig := (xs[i] - xs[i-1]) / (xs[i+1] - xs[i-1])
+		p := sig*s.y2[i-1] + 2
+		s.y2[i] = (sig - 1) / p
+		u[i] = (ys[i+1]-ys[i])/(xs[i+1]-xs[i]) - (ys[i]-ys[i-1])/(xs[i]-xs[i-1])
+		u[i] = (6*u[i]/(xs[i+1]-xs[i-1]) - sig*u[i-1]) / p
+	}
+	for k := n - 2; k >= 0; k-- {
+		s.y2[k] = s.y2[k]*s.y2[k+1] + u[k]
+	}
+	return s, nil
+}
+
+// Eval evaluates the spline at x. Inside the data range the cubic
+// interpolant is used; outside, the spline is continued linearly with
+// the end slope, which keeps table extrapolation (the paper allows
+// mild extrapolation) from blowing up cubically.
+func (s *Spline1D) Eval(x float64) float64 {
+	n := len(s.xs)
+	if x <= s.xs[0] {
+		return s.ys[0] + s.slopeAt(0)*(x-s.xs[0])
+	}
+	if x >= s.xs[n-1] {
+		return s.ys[n-1] + s.slopeAt(n-1)*(x-s.xs[n-1])
+	}
+	hi := sort.SearchFloat64s(s.xs, x)
+	lo := hi - 1
+	h := s.xs[hi] - s.xs[lo]
+	a := (s.xs[hi] - x) / h
+	b := (x - s.xs[lo]) / h
+	return a*s.ys[lo] + b*s.ys[hi] +
+		((a*a*a-a)*s.y2[lo]+(b*b*b-b)*s.y2[hi])*h*h/6
+}
+
+// slopeAt returns the spline's first derivative at knot i (used for
+// linear extrapolation beyond the table).
+func (s *Spline1D) slopeAt(i int) float64 {
+	n := len(s.xs)
+	switch i {
+	case 0:
+		h := s.xs[1] - s.xs[0]
+		return (s.ys[1]-s.ys[0])/h - h/6*(2*s.y2[0]+s.y2[1])
+	case n - 1:
+		h := s.xs[n-1] - s.xs[n-2]
+		return (s.ys[n-1]-s.ys[n-2])/h + h/6*(s.y2[n-2]+2*s.y2[n-1])
+	default:
+		h := s.xs[i+1] - s.xs[i]
+		return (s.ys[i+1]-s.ys[i])/h - h/6*(2*s.y2[i]+s.y2[i+1])
+	}
+}
+
+// Grid is an N-dimensional rectilinear table with tensor-product
+// cubic-spline interpolation: exactly the bicubic scheme for two axes,
+// generalised to the four axes of the mutual-inductance table.
+type Grid struct {
+	// Axes holds the strictly increasing coordinates of each
+	// dimension. Axes of length 1 are allowed and treated as constant.
+	Axes [][]float64
+	// Vals holds the table values in row-major order with the last
+	// axis varying fastest; len(Vals) = Π len(Axes[d]).
+	Vals []float64
+
+	// inner caches the splines along the last axis (one per line of
+	// leading indices): by far the most numerous spline constructions
+	// during an Eval, so caching them makes repeated lookups cheap.
+	// Set invalidates the cache.
+	inner      []*Spline1D
+	innerStale bool
+}
+
+// NewGrid validates and wraps a table.
+func NewGrid(axes [][]float64, vals []float64) (*Grid, error) {
+	if len(axes) == 0 {
+		return nil, errors.New("spline: grid needs at least one axis")
+	}
+	size := 1
+	for d, ax := range axes {
+		if len(ax) == 0 {
+			return nil, fmt.Errorf("spline: axis %d is empty", d)
+		}
+		for i := 1; i < len(ax); i++ {
+			if ax[i] <= ax[i-1] {
+				return nil, fmt.Errorf("spline: axis %d not strictly increasing at %d", d, i)
+			}
+		}
+		size *= len(ax)
+	}
+	if len(vals) != size {
+		return nil, fmt.Errorf("spline: grid needs %d values, got %d", size, len(vals))
+	}
+	return &Grid{Axes: axes, Vals: vals, innerStale: true}, nil
+}
+
+// Dim returns the number of axes.
+func (g *Grid) Dim() int { return len(g.Axes) }
+
+// At returns the tabulated value at integer indices.
+func (g *Grid) At(idx ...int) float64 {
+	return g.Vals[g.offset(idx)]
+}
+
+// Set stores a tabulated value at integer indices and invalidates the
+// interpolation cache.
+func (g *Grid) Set(v float64, idx ...int) {
+	g.Vals[g.offset(idx)] = v
+	g.innerStale = true
+}
+
+func (g *Grid) offset(idx []int) int {
+	if len(idx) != len(g.Axes) {
+		panic(fmt.Sprintf("spline: %d indices for %d axes", len(idx), len(g.Axes)))
+	}
+	off := 0
+	for d, i := range idx {
+		if i < 0 || i >= len(g.Axes[d]) {
+			panic(fmt.Sprintf("spline: index %d out of range for axis %d (size %d)", i, d, len(g.Axes[d])))
+		}
+		off = off*len(g.Axes[d]) + i
+	}
+	return off
+}
+
+// Eval interpolates the table at the given coordinates using
+// tensor-product natural cubic splines: a spline along the first axis
+// through values each obtained by recursive interpolation over the
+// remaining axes. Singleton axes pass their value through.
+func (g *Grid) Eval(coords ...float64) (float64, error) {
+	if len(coords) != len(g.Axes) {
+		return 0, fmt.Errorf("spline: %d coordinates for %d axes", len(coords), len(g.Axes))
+	}
+	return g.eval(coords, 0, len(g.Vals)), nil
+}
+
+// refreshInner (re)builds the cached last-axis splines.
+func (g *Grid) refreshInner() {
+	last := g.Axes[len(g.Axes)-1]
+	if len(last) == 1 {
+		g.inner = nil
+		g.innerStale = false
+		return
+	}
+	nLines := len(g.Vals) / len(last)
+	if cap(g.inner) < nLines {
+		g.inner = make([]*Spline1D, nLines)
+	} else {
+		g.inner = g.inner[:nLines]
+	}
+	for i := 0; i < nLines; i++ {
+		s, err := New1D(last, g.Vals[i*len(last):(i+1)*len(last)])
+		if err != nil {
+			// Axes were validated at construction.
+			panic(err)
+		}
+		g.inner[i] = s
+	}
+	g.innerStale = false
+}
+
+// eval interpolates the row-major block of g.Vals starting at base
+// with the given size, spanning axes[len(axes)-len(coords):] —
+// implemented by recursing on the first remaining axis. The last axis
+// uses the cached splines.
+func (g *Grid) eval(coords []float64, base, size int) float64 {
+	ax := g.Axes[len(g.Axes)-len(coords)]
+	if len(coords) == 1 {
+		if len(ax) == 1 {
+			return g.Vals[base]
+		}
+		if g.innerStale {
+			g.refreshInner()
+		}
+		return g.inner[base/len(ax)].Eval(coords[0])
+	}
+	stride := size / len(ax)
+	line := make([]float64, len(ax))
+	for i := range ax {
+		line[i] = g.eval(coords[1:], base+i*stride, stride)
+	}
+	return eval1D(ax, line, coords[0])
+}
+
+// eval1D interpolates one axis; singleton axes are constant.
+func eval1D(ax, vals []float64, x float64) float64 {
+	if len(ax) == 1 {
+		return vals[0]
+	}
+	s, err := New1D(ax, vals)
+	if err != nil {
+		// Axes are validated at construction; reaching here indicates
+		// a programming error.
+		panic(err)
+	}
+	return s.Eval(x)
+}

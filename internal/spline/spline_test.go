@@ -1,0 +1,275 @@
+package spline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func linspace(a, b float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = a + (b-a)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+func logspace(a, b float64, n int) []float64 {
+	out := make([]float64, n)
+	la, lb := math.Log(a), math.Log(b)
+	for i := range out {
+		out[i] = math.Exp(la + (lb-la)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+func TestSpline1DReproducesKnots(t *testing.T) {
+	xs := []float64{0, 1, 2.5, 4, 7}
+	ys := []float64{1, -2, 0.5, 3, -1}
+	s, err := New1D(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		if got := s.Eval(x); math.Abs(got-ys[i]) > 1e-12 {
+			t.Errorf("Eval(%g) = %g, want knot %g", x, got, ys[i])
+		}
+	}
+}
+
+func TestSpline1DExactForLinear(t *testing.T) {
+	xs := linspace(0, 10, 7)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x - 2
+	}
+	s, err := New1D(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-2, 0.7, 3.3, 9.99, 15} {
+		want := 3*x - 2
+		if got := s.Eval(x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("linear reproduction failed at %g: %g vs %g", x, got, want)
+		}
+	}
+}
+
+func TestSpline1DSinAccuracy(t *testing.T) {
+	xs := linspace(0, math.Pi, 12)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Sin(x)
+	}
+	s, err := New1D(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.05; x < math.Pi; x += 0.1 {
+		if err := math.Abs(s.Eval(x) - math.Sin(x)); err > 2e-3 {
+			t.Errorf("sin interp error %g at %g", err, x)
+		}
+	}
+}
+
+func TestSpline1DLogLikeInductanceCurve(t *testing.T) {
+	// The inductance tables are smooth log-like functions of length;
+	// with the log-spaced knots the table builder uses, interpolation
+	// error must be tiny on such shapes.
+	f := func(l float64) float64 { return l * (math.Log(2*l/3e-6) + 0.5) }
+	xs := logspace(100e-6, 6000e-6, 9)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = f(x)
+	}
+	s, err := New1D(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{150e-6, 777e-6, 2500e-6, 5900e-6} {
+		rel := math.Abs(s.Eval(x)-f(x)) / f(x)
+		// The natural boundary condition caps accuracy in the first
+		// panel; 0.2 % there, much better in the interior.
+		if rel > 2e-3 {
+			t.Errorf("rel error %g at %g", rel, x)
+		}
+	}
+}
+
+func TestSpline1DLinearExtrapolation(t *testing.T) {
+	xs := linspace(0, 1, 5)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = x * x
+	}
+	s, err := New1D(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Beyond the right end the continuation must be linear: second
+	// differences vanish.
+	d1 := s.Eval(1.2) - s.Eval(1.1)
+	d2 := s.Eval(1.3) - s.Eval(1.2)
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("extrapolation not linear: deltas %g vs %g", d1, d2)
+	}
+	// And continuous at the boundary.
+	if math.Abs(s.Eval(1+1e-9)-s.Eval(1-1e-9)) > 1e-6 {
+		t.Error("extrapolation discontinuous at right end")
+	}
+}
+
+func TestNew1DErrors(t *testing.T) {
+	if _, err := New1D([]float64{0, 1}, []float64{1}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := New1D([]float64{0}, []float64{1}); err == nil {
+		t.Error("accepted single point")
+	}
+	if _, err := New1D([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("accepted non-increasing abscissae")
+	}
+}
+
+func TestGridBicubicProductFunction(t *testing.T) {
+	// f(x, y) = (x² + 1)(y + 2): smooth, separable.
+	xs := linspace(0, 2, 7)
+	ys := linspace(-1, 1, 6)
+	vals := make([]float64, len(xs)*len(ys))
+	for i, x := range xs {
+		for j, y := range ys {
+			vals[i*len(ys)+j] = (x*x + 1) * (y + 2)
+		}
+	}
+	g, err := NewGrid([][]float64{xs, ys}, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][2]float64{{0.3, 0.4}, {1.77, -0.9}, {1.01, 0}} {
+		want := (p[0]*p[0] + 1) * (p[1] + 2)
+		got, err := g.Eval(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(got-want) / want; rel > 2e-3 {
+			t.Errorf("bicubic error %g at %v", rel, p)
+		}
+	}
+}
+
+func TestGrid4DInterpolation(t *testing.T) {
+	// Shape of the mutual table: (w1, w2, s, l), smooth in each axis.
+	w1 := linspace(1, 4, 4)
+	w2 := linspace(1, 4, 4)
+	sp := logspace(1, 8, 5)
+	ln := logspace(100, 1000, 6)
+	f := func(a, b, s, l float64) float64 {
+		return l * math.Log(1+l/(s+a/2+b/2))
+	}
+	vals := make([]float64, 0, 4*4*5*5)
+	for _, a := range w1 {
+		for _, b := range w2 {
+			for _, s := range sp {
+				for _, l := range ln {
+					vals = append(vals, f(a, b, s, l))
+				}
+			}
+		}
+	}
+	g, err := NewGrid([][]float64{w1, w2, sp, ln}, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := [][4]float64{
+		{1.5, 2.5, 3.3, 550},
+		{3.2, 1.1, 6.7, 130},
+		{2, 2, 2, 900},
+	}
+	for _, p := range pts {
+		want := f(p[0], p[1], p[2], p[3])
+		got, err := g.Eval(p[0], p[1], p[2], p[3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(got-want) / want; rel > 0.01 {
+			t.Errorf("4-D interp rel error %g at %v", rel, p)
+		}
+	}
+}
+
+func TestGridSingletonAxis(t *testing.T) {
+	g, err := NewGrid([][]float64{{5}, {0, 1, 2}}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Eval(99, 1.5) // singleton axis coordinate ignored
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("singleton-axis eval = %g, want 2.5", got)
+	}
+}
+
+func TestGridAtSetRoundTrip(t *testing.T) {
+	g, err := NewGrid([][]float64{{0, 1}, {0, 1, 2}}, make([]float64, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(42, 1, 2)
+	if g.At(1, 2) != 42 {
+		t.Error("Set/At round trip failed")
+	}
+	if g.At(0, 0) != 0 {
+		t.Error("Set leaked to other cells")
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	if _, err := NewGrid(nil, nil); err == nil {
+		t.Error("accepted empty axes")
+	}
+	if _, err := NewGrid([][]float64{{0, 1}}, []float64{1}); err == nil {
+		t.Error("accepted wrong value count")
+	}
+	if _, err := NewGrid([][]float64{{1, 0}}, []float64{1, 2}); err == nil {
+		t.Error("accepted decreasing axis")
+	}
+	g, _ := NewGrid([][]float64{{0, 1}}, []float64{1, 2})
+	if _, err := g.Eval(0.5, 0.5); err == nil {
+		t.Error("accepted wrong coordinate count")
+	}
+}
+
+// Property: grid interpolation reproduces every knot exactly.
+func TestQuickGridReproducesKnots(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		nx := int(seed%3) + 2
+		ny := int(seed/3%3) + 2
+		xs := linspace(0, float64(nx), nx)
+		ys := linspace(0, float64(ny), ny)
+		vals := make([]float64, nx*ny)
+		for i := range vals {
+			vals[i] = math.Sin(float64(i) + float64(seed%17))
+		}
+		g, err := NewGrid([][]float64{xs, ys}, vals)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < nx; i++ {
+			for j := 0; j < ny; j++ {
+				got, err := g.Eval(xs[i], ys[j])
+				if err != nil || math.Abs(got-vals[i*ny+j]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,83 @@
+package table
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"clockrlc/internal/spline"
+)
+
+// fileFormat is the on-disk JSON schema of a table set. Only the
+// axes and raw values are stored; splines are rebuilt at load time.
+type fileFormat struct {
+	Version    int       `json:"version"`
+	Config     Config    `json:"config"`
+	Axes       Axes      `json:"axes"`
+	SelfVals   []float64 `json:"self"`
+	MutualVals []float64 `json:"mutual"`
+}
+
+const formatVersion = 1
+
+// Save writes the set as JSON.
+func (s *Set) Save(w io.Writer) error {
+	ff := fileFormat{
+		Version:    formatVersion,
+		Config:     s.Config,
+		Axes:       s.Axes,
+		SelfVals:   s.Self.Vals,
+		MutualVals: s.Mutual.Vals,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ff)
+}
+
+// SaveFile writes the set to a file path.
+func (s *Set) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("table: %w", err)
+	}
+	defer f.Close()
+	if err := s.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a set previously written by Save, revalidating the axes
+// and rebuilding the interpolants.
+func Load(r io.Reader) (*Set, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("table: decode: %w", err)
+	}
+	if ff.Version != formatVersion {
+		return nil, fmt.Errorf("table: unsupported format version %d (want %d)", ff.Version, formatVersion)
+	}
+	if err := ff.Axes.Validate(); err != nil {
+		return nil, err
+	}
+	selfGrid, err := spline.NewGrid([][]float64{ff.Axes.Widths, ff.Axes.Lengths}, ff.SelfVals)
+	if err != nil {
+		return nil, fmt.Errorf("table: self grid: %w", err)
+	}
+	mutGrid, err := spline.NewGrid(
+		[][]float64{ff.Axes.Widths, ff.Axes.Widths, ff.Axes.Spacings, ff.Axes.Lengths}, ff.MutualVals)
+	if err != nil {
+		return nil, fmt.Errorf("table: mutual grid: %w", err)
+	}
+	return &Set{Config: ff.Config, Axes: ff.Axes, Self: selfGrid, Mutual: mutGrid}, nil
+}
+
+// LoadFile reads a set from a file path.
+func LoadFile(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("table: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

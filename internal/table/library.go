@@ -1,0 +1,106 @@
+package table
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Library manages the table sets of a technology: one set per (layer,
+// shielding configuration), addressable by the set's Config.Name. It
+// is the on-disk artifact cmd/tablegen produces one file of; a design
+// flow builds the library once and every extraction after that is
+// lookups.
+type Library struct {
+	sets map[string]*Set
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary() *Library {
+	return &Library{sets: map[string]*Set{}}
+}
+
+// Add registers a set under its Config.Name, rejecting duplicates and
+// anonymous sets.
+func (l *Library) Add(s *Set) error {
+	if s == nil {
+		return fmt.Errorf("table: nil set")
+	}
+	if s.Config.Name == "" {
+		return fmt.Errorf("table: set has no name")
+	}
+	if _, dup := l.sets[s.Config.Name]; dup {
+		return fmt.Errorf("table: duplicate set %q", s.Config.Name)
+	}
+	l.sets[s.Config.Name] = s
+	return nil
+}
+
+// Get returns a set by name.
+func (l *Library) Get(name string) (*Set, error) {
+	s, ok := l.sets[name]
+	if !ok {
+		return nil, fmt.Errorf("table: library has no set %q (have %v)", name, l.Names())
+	}
+	return s, nil
+}
+
+// Names lists the registered sets, sorted.
+func (l *Library) Names() []string {
+	out := make([]string, 0, len(l.sets))
+	for n := range l.sets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the set count.
+func (l *Library) Len() int { return len(l.sets) }
+
+// fileName maps a set name ("M6/microstrip") to a safe file name.
+func fileName(name string) string {
+	r := strings.NewReplacer("/", "__", " ", "_", "\\", "__")
+	return r.Replace(name) + ".json"
+}
+
+// SaveDir writes every set to dir (created if needed), one JSON file
+// per set.
+func (l *Library) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("table: %w", err)
+	}
+	for _, name := range l.Names() {
+		if err := l.sets[name].SaveFile(filepath.Join(dir, fileName(name))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir reads every *.json table set in dir into a new library.
+func LoadDir(dir string) (*Library, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("table: %w", err)
+	}
+	l := NewLibrary()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		s, err := LoadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("table: %s: %w", e.Name(), err)
+		}
+		if err := l.Add(s); err != nil {
+			return nil, err
+		}
+	}
+	if l.Len() == 0 {
+		return nil, fmt.Errorf("table: no table sets found in %s", dir)
+	}
+	return l, nil
+}

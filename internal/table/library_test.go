@@ -1,0 +1,101 @@
+package table
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clockrlc/internal/units"
+)
+
+func tinyAxes() Axes {
+	return Axes{
+		Widths:   LogAxis(units.Um(1), units.Um(4), 2),
+		Spacings: LogAxis(units.Um(1), units.Um(2), 2),
+		Lengths:  LogAxis(units.Um(100), units.Um(1000), 3),
+	}
+}
+
+func TestLibraryRoundTrip(t *testing.T) {
+	l := NewLibrary()
+	for _, name := range []string{"M6/coplanar", "M6/microstrip"} {
+		cfg := freeConfig()
+		cfg.Name = name
+		if name == "M6/microstrip" {
+			cfg = microstripConfig()
+			cfg.Name = name
+		}
+		s, err := Build(cfg, tinyAxes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Len() != 2 {
+		t.Fatalf("library size %d", l.Len())
+	}
+	dir := t.TempDir() + "/lib"
+	if err := l.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Slash in the name must not create subdirectories.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("expected 2 files, got %d", len(entries))
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("loaded %d sets", back.Len())
+	}
+	a, err := l.Get("M6/coplanar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Get("M6/coplanar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, _ := a.SelfL(units.Um(2), units.Um(500))
+	x2, _ := b.SelfL(units.Um(2), units.Um(500))
+	if x1 != x2 {
+		t.Errorf("lookup drift through library round trip: %g vs %g", x1, x2)
+	}
+}
+
+func TestLibraryValidation(t *testing.T) {
+	l := NewLibrary()
+	if err := l.Add(nil); err == nil {
+		t.Error("accepted nil set")
+	}
+	if err := l.Add(&Set{}); err == nil {
+		t.Error("accepted anonymous set")
+	}
+	cfg := freeConfig()
+	s, err := Build(cfg, tinyAxes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add(s); err == nil {
+		t.Error("accepted duplicate set")
+	}
+	if _, err := l.Get("nosuch"); err == nil {
+		t.Error("Get returned missing set")
+	}
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("LoadDir accepted an empty directory")
+	}
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("LoadDir accepted a missing directory")
+	}
+}

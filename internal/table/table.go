@@ -1,0 +1,335 @@
+// Package table implements the paper's table-based inductance
+// extraction (Section III): per layer and per shielding configuration,
+// a self-inductance table over (width, length) and a mutual-inductance
+// table over (width1, width2, spacing, length) are pre-computed with
+// the numerical engine (internal/peec + internal/loop standing in for
+// Raphael RI3) at the significant frequency, then interpolated with
+// tensor-product cubic splines at lookup time.
+//
+// For the free (no ground plane) configuration the tables store
+// partial inductances under the PEEC model — the simulator determines
+// the return path. For microstrip/stripline configurations the tables
+// store loop inductances with the plane(s) merged into the return, per
+// Section II.B, so the planes never appear in the final netlist.
+package table
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"clockrlc/internal/geom"
+	"clockrlc/internal/loop"
+	"clockrlc/internal/peec"
+	"clockrlc/internal/spline"
+	"clockrlc/internal/units"
+)
+
+// Config identifies the extraction context a table set is built for.
+type Config struct {
+	// Name labels the set, conventionally "<layer>/<shielding>".
+	Name string
+	// Thickness is the layer's nominal metal thickness (m); the paper
+	// assumes one nominal thickness per layer.
+	Thickness float64
+	// Rho is the metal resistivity (Ω·m).
+	Rho float64
+	// Shielding selects partial (ShieldNone) vs loop (microstrip /
+	// stripline) inductance entries.
+	Shielding geom.Shielding
+	// PlaneGap is the dielectric gap between the trace bottom and the
+	// plane top (m); PlaneThickness the plane's metal thickness.
+	// Required for microstrip and stripline.
+	PlaneGap, PlaneThickness float64
+	// Frequency is the significant frequency the entries are extracted
+	// at (0.32/tr).
+	Frequency float64
+	// PlaneStrips controls the plane discretisation (default 12).
+	PlaneStrips int
+	// SubW, SubT subdivide traces for skin effect during table build
+	// (defaults 4 and 2).
+	SubW, SubT int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PlaneStrips <= 0 {
+		c.PlaneStrips = 12
+	}
+	if c.SubW <= 0 {
+		c.SubW = 4
+	}
+	if c.SubT <= 0 {
+		c.SubT = 2
+	}
+	return c
+}
+
+// Validate checks the configuration is buildable.
+func (c Config) Validate() error {
+	if c.Thickness <= 0 {
+		return fmt.Errorf("table: thickness must be positive, got %g", c.Thickness)
+	}
+	if c.Rho <= 0 {
+		return fmt.Errorf("table: resistivity must be positive, got %g", c.Rho)
+	}
+	if c.Frequency <= 0 {
+		return fmt.Errorf("table: frequency must be positive, got %g", c.Frequency)
+	}
+	if c.Shielding != geom.ShieldNone {
+		if c.PlaneGap <= 0 || c.PlaneThickness <= 0 {
+			return fmt.Errorf("table: %v configuration needs PlaneGap and PlaneThickness", c.Shielding)
+		}
+	}
+	return nil
+}
+
+// Axes are the sweep points of a table build. The paper's self table
+// is (width × length) and its mutual table (w1 × w2 × spacing ×
+// length); spacings are edge-to-edge. Lengths and spacings should be
+// log-spaced: inductance is logarithmic in both.
+type Axes struct {
+	Widths   []float64
+	Spacings []float64
+	Lengths  []float64
+}
+
+// Validate checks the axes are usable.
+func (a Axes) Validate() error {
+	for name, ax := range map[string][]float64{
+		"widths": a.Widths, "spacings": a.Spacings, "lengths": a.Lengths,
+	} {
+		if len(ax) < 2 {
+			return fmt.Errorf("table: need at least two %s", name)
+		}
+		for i, v := range ax {
+			if v <= 0 {
+				return fmt.Errorf("table: %s[%d] = %g must be positive", name, i, v)
+			}
+			if i > 0 && v <= ax[i-1] {
+				return fmt.Errorf("table: %s must be strictly increasing", name)
+			}
+		}
+	}
+	return nil
+}
+
+// LogAxis returns n log-spaced points from a to b inclusive.
+func LogAxis(a, b float64, n int) []float64 {
+	if n < 2 || a <= 0 || b <= a {
+		panic(fmt.Sprintf("table: bad LogAxis(%g, %g, %d)", a, b, n))
+	}
+	out := make([]float64, n)
+	la, lb := math.Log(a), math.Log(b)
+	for i := range out {
+		out[i] = math.Exp(la + (lb-la)*float64(i)/float64(n-1))
+	}
+	out[0], out[n-1] = a, b // exact endpoints despite rounding
+	return out
+}
+
+// DefaultAxes returns a sensible sweep for clocktree geometries:
+// widths 0.6–20 µm, spacings 0.6–10 µm, lengths 50–8000 µm.
+func DefaultAxes() Axes {
+	return Axes{
+		Widths:   LogAxis(units.Um(0.6), units.Um(20), 6),
+		Spacings: LogAxis(units.Um(0.6), units.Um(10), 5),
+		Lengths:  LogAxis(units.Um(50), units.Um(8000), 8),
+	}
+}
+
+// Set is one built table set: the self and mutual grids plus their
+// provenance.
+type Set struct {
+	Config Config
+	Axes   Axes
+	// Self is indexed (width, length); Mutual (w1, w2, spacing,
+	// length). Values in henries.
+	Self, Mutual *spline.Grid
+}
+
+// Build sweeps the numerical engine over the axes and assembles the
+// spline tables. Self entries come from 1-trace solves, mutual
+// entries from 2-trace solves, each with the configuration's plane(s)
+// when shielded.
+func Build(cfg Config, axes Axes) (*Set, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := axes.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Set{Config: cfg, Axes: axes}
+
+	selfVals := make([]float64, len(axes.Widths)*len(axes.Lengths))
+	k := 0
+	for _, w := range axes.Widths {
+		for _, l := range axes.Lengths {
+			v, err := selfEntry(cfg, w, l)
+			if err != nil {
+				return nil, fmt.Errorf("table: self(w=%g, l=%g): %w", w, l, err)
+			}
+			selfVals[k] = v
+			k++
+		}
+	}
+	var err error
+	s.Self, err = spline.NewGrid([][]float64{axes.Widths, axes.Lengths}, selfVals)
+	if err != nil {
+		return nil, err
+	}
+
+	nm := len(axes.Widths) * len(axes.Widths) * len(axes.Spacings) * len(axes.Lengths)
+	mutVals := make([]float64, nm)
+	k = 0
+	for i, w1 := range axes.Widths {
+		for j, w2 := range axes.Widths {
+			for _, sp := range axes.Spacings {
+				for _, l := range axes.Lengths {
+					// Mutual is symmetric in (w1, w2); reuse the
+					// transposed entry instead of re-solving.
+					if j < i {
+						k++
+						continue
+					}
+					v, err := mutualEntry(cfg, w1, w2, sp, l)
+					if err != nil {
+						return nil, fmt.Errorf("table: mutual(w1=%g, w2=%g, s=%g, l=%g): %w", w1, w2, sp, l, err)
+					}
+					mutVals[k] = v
+					k++
+				}
+			}
+		}
+	}
+	s.Mutual, err = spline.NewGrid(
+		[][]float64{axes.Widths, axes.Widths, axes.Spacings, axes.Lengths}, mutVals)
+	if err != nil {
+		return nil, err
+	}
+	// Mirror the symmetric half.
+	nw := len(axes.Widths)
+	for i := 0; i < nw; i++ {
+		for j := 0; j < i; j++ {
+			for si := range axes.Spacings {
+				for li := range axes.Lengths {
+					s.Mutual.Set(s.Mutual.At(j, i, si, li), i, j, si, li)
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// selfEntry extracts one self-table value.
+func selfEntry(cfg Config, w, l float64) (float64, error) {
+	if cfg.Shielding == geom.ShieldNone {
+		rl, err := peec.EffectiveRL(
+			peec.Bar{Axis: peec.AxisX, O: [3]float64{0, -w / 2, 0}, L: l, W: w, T: cfg.Thickness},
+			cfg.Rho, cfg.Frequency, cfg.SubW, cfg.SubT)
+		if err != nil {
+			return 0, err
+		}
+		return rl.L, nil
+	}
+	blk := oneTraceBlock(cfg, w, l)
+	sol, err := loop.SolveBlock(blk, 0, loopOpts(cfg))
+	if err != nil {
+		return 0, err
+	}
+	return sol.L, nil
+}
+
+// mutualEntry extracts one mutual-table value.
+func mutualEntry(cfg Config, w1, w2, sp, l float64) (float64, error) {
+	if cfg.Shielding == geom.ShieldNone {
+		a := peec.Bar{Axis: peec.AxisX, O: [3]float64{0, 0, 0}, L: l, W: w1, T: cfg.Thickness}
+		b := peec.Bar{Axis: peec.AxisX, O: [3]float64{0, w1 + sp, 0}, L: l, W: w2, T: cfg.Thickness}
+		return peec.HoerLoveMutual(a, b), nil
+	}
+	blk := twoTraceBlock(cfg, w1, w2, sp, l)
+	sol, err := loop.SolveBlock(blk, 0, loopOpts(cfg))
+	if err != nil {
+		return 0, err
+	}
+	if len(sol.MutualL) != 1 {
+		return 0, errors.New("table: two-trace solve returned no mutual")
+	}
+	return sol.MutualL[0], nil
+}
+
+func loopOpts(cfg Config) loop.Options {
+	return loop.Options{
+		Frequency:   cfg.Frequency,
+		PlaneStrips: cfg.PlaneStrips,
+		SubW:        cfg.SubW,
+		SubT:        cfg.SubT,
+	}
+}
+
+// planes builds the configuration's ground plane(s) around traces at
+// thickness-centre z = cfg.Thickness/2, sized relative to the block
+// footprint.
+func planes(cfg Config, footprint float64) (below, above *geom.GroundPlane) {
+	mk := func(z float64) *geom.GroundPlane {
+		return &geom.GroundPlane{
+			Z:         z,
+			Thickness: cfg.PlaneThickness,
+			Width:     3*footprint + 20*cfg.PlaneGap,
+			Rho:       cfg.Rho,
+		}
+	}
+	switch cfg.Shielding {
+	case geom.ShieldMicrostrip:
+		below = mk(-cfg.PlaneGap - cfg.PlaneThickness/2)
+	case geom.ShieldStripline:
+		below = mk(-cfg.PlaneGap - cfg.PlaneThickness/2)
+		above = mk(cfg.Thickness + cfg.PlaneGap + cfg.PlaneThickness/2)
+	}
+	return below, above
+}
+
+func oneTraceBlock(cfg Config, w, l float64) *geom.Block {
+	below, above := planes(cfg, w)
+	return &geom.Block{
+		Traces: []geom.Trace{
+			{X0: 0, Y: 0, Z: cfg.Thickness / 2, Length: l, Width: w, Thickness: cfg.Thickness},
+		},
+		IsGround:   []bool{false},
+		PlaneBelow: below,
+		PlaneAbove: above,
+		Rho:        cfg.Rho,
+	}
+}
+
+func twoTraceBlock(cfg Config, w1, w2, sp, l float64) *geom.Block {
+	below, above := planes(cfg, w1+w2+sp)
+	return &geom.Block{
+		Traces: []geom.Trace{
+			{X0: 0, Y: 0, Z: cfg.Thickness / 2, Length: l, Width: w1, Thickness: cfg.Thickness},
+			{X0: 0, Y: w1/2 + sp + w2/2, Z: cfg.Thickness / 2, Length: l, Width: w2, Thickness: cfg.Thickness},
+		},
+		IsGround:   []bool{false, false},
+		PlaneBelow: below,
+		PlaneAbove: above,
+		Rho:        cfg.Rho,
+	}
+}
+
+// SelfL looks up (interpolating, mildly extrapolating) the self
+// inductance for a trace of width w and length l.
+func (s *Set) SelfL(w, l float64) (float64, error) {
+	if w <= 0 || l <= 0 {
+		return 0, fmt.Errorf("table: SelfL arguments must be positive (w=%g, l=%g)", w, l)
+	}
+	return s.Self.Eval(w, l)
+}
+
+// MutualL looks up the mutual inductance between parallel traces of
+// widths w1 and w2, edge-to-edge spacing sp, common length l.
+func (s *Set) MutualL(w1, w2, sp, l float64) (float64, error) {
+	if w1 <= 0 || w2 <= 0 || sp <= 0 || l <= 0 {
+		return 0, fmt.Errorf("table: MutualL arguments must be positive (w1=%g, w2=%g, s=%g, l=%g)", w1, w2, sp, l)
+	}
+	return s.Mutual.Eval(w1, w2, sp, l)
+}

@@ -1,0 +1,89 @@
+// Package units provides physical constants, unit helpers and the
+// frequency rules used throughout the extractor.
+//
+// All quantities inside the library are SI (metres, henries, farads,
+// ohms, seconds, hertz). The helpers here exist so that user-facing
+// code can speak in the units the paper uses (µm, nH, fF, ps) without
+// scattering magic powers of ten.
+package units
+
+import "math"
+
+// Physical constants (SI).
+const (
+	// Mu0 is the vacuum permeability in H/m.
+	Mu0 = 4e-7 * math.Pi
+	// Eps0 is the vacuum permittivity in F/m.
+	Eps0 = 8.8541878128e-12
+	// EpsSiO2 is the relative permittivity of silicon dioxide, the
+	// inter-layer dielectric assumed by the paper's technology.
+	EpsSiO2 = 3.9
+)
+
+// Conductor resistivities at room temperature in Ω·m.
+const (
+	RhoCopper   = 1.68e-8
+	RhoAluminum = 2.65e-8
+)
+
+// Unit multipliers: multiply a value expressed in the named unit by the
+// constant to obtain SI.
+const (
+	Micron = 1e-6 // µm → m
+	Milli  = 1e-3
+
+	NanoHenry  = 1e-9  // nH → H
+	PicoHenry  = 1e-12 // pH → H
+	FemtoFarad = 1e-15 // fF → F
+	PicoFarad  = 1e-12 // pF → F
+
+	PicoSecond = 1e-12 // ps → s
+	NanoSecond = 1e-9  // ns → s
+
+	GigaHertz = 1e9 // GHz → Hz
+)
+
+// Um converts a length in microns to metres.
+func Um(v float64) float64 { return v * Micron }
+
+// ToUm converts a length in metres to microns.
+func ToUm(v float64) float64 { return v / Micron }
+
+// ToNH converts an inductance in henries to nanohenries.
+func ToNH(v float64) float64 { return v / NanoHenry }
+
+// ToPH converts an inductance in henries to picohenries.
+func ToPH(v float64) float64 { return v / PicoHenry }
+
+// ToFF converts a capacitance in farads to femtofarads.
+func ToFF(v float64) float64 { return v / FemtoFarad }
+
+// ToPS converts a time in seconds to picoseconds.
+func ToPS(v float64) float64 { return v / PicoSecond }
+
+// Ps converts a time in picoseconds to seconds.
+func Ps(v float64) float64 { return v * PicoSecond }
+
+// SignificantFrequency implements the paper's rule for the frequency at
+// which inductance (and skin depth) should be evaluated:
+//
+//	f_sig = 0.32 / t_r
+//
+// where tr is the minimum rise/fall time of the signals of interest.
+// (Section III; the rule originates in ref. [1] of the paper.)
+func SignificantFrequency(riseTime float64) float64 {
+	if riseTime <= 0 {
+		return 0
+	}
+	return 0.32 / riseTime
+}
+
+// SkinDepth returns the skin depth δ = sqrt(ρ / (π f µ0)) in metres for
+// a conductor of resistivity rho (Ω·m) at frequency f (Hz). A
+// non-positive frequency yields +Inf (uniform current distribution).
+func SkinDepth(rho, f float64) float64 {
+	if f <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(rho / (math.Pi * f * Mu0))
+}

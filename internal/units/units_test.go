@@ -1,0 +1,86 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignificantFrequency(t *testing.T) {
+	// The paper's Fig. 1 regime: tr around 100 ps gives f_sig = 3.2 GHz.
+	f := SignificantFrequency(100 * PicoSecond)
+	if math.Abs(f-3.2e9) > 1 {
+		t.Errorf("SignificantFrequency(100ps) = %g, want 3.2e9", f)
+	}
+	if got := SignificantFrequency(0); got != 0 {
+		t.Errorf("SignificantFrequency(0) = %g, want 0", got)
+	}
+	if got := SignificantFrequency(-1); got != 0 {
+		t.Errorf("SignificantFrequency(-1) = %g, want 0", got)
+	}
+}
+
+func TestSkinDepthCopperAt1GHz(t *testing.T) {
+	// Copper at 1 GHz: δ ≈ 2.06 µm (textbook value).
+	d := SkinDepth(RhoCopper, 1e9)
+	if d < 1.9e-6 || d > 2.2e-6 {
+		t.Errorf("SkinDepth(Cu, 1GHz) = %g m, want ≈ 2.06 µm", d)
+	}
+}
+
+func TestSkinDepthZeroFrequency(t *testing.T) {
+	if d := SkinDepth(RhoCopper, 0); !math.IsInf(d, 1) {
+		t.Errorf("SkinDepth at DC = %g, want +Inf", d)
+	}
+}
+
+func TestSkinDepthDecreasesWithFrequency(t *testing.T) {
+	f := func(exp uint8) bool {
+		f1 := 1e6 * math.Pow(2, float64(exp%20))
+		f2 := 2 * f1
+		return SkinDepth(RhoCopper, f2) < SkinDepth(RhoCopper, f1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnitRoundTrips(t *testing.T) {
+	cases := []struct {
+		name     string
+		fwd, inv func(float64) float64
+	}{
+		{"um", Um, ToUm},
+		{"ps", Ps, ToPS},
+	}
+	for _, c := range cases {
+		for _, v := range []float64{0, 1, 12.5, 6000} {
+			if got := c.inv(c.fwd(v)); math.Abs(got-v) > 1e-9*math.Abs(v)+1e-15 {
+				t.Errorf("%s round trip of %g = %g", c.name, v, got)
+			}
+		}
+	}
+}
+
+func TestUnitScales(t *testing.T) {
+	if ToNH(1e-9) != 1 {
+		t.Error("ToNH(1e-9) != 1")
+	}
+	if ToPH(1e-12) != 1 {
+		t.Error("ToPH(1e-12) != 1")
+	}
+	if ToFF(1e-15) != 1 {
+		t.Error("ToFF(1e-15) != 1")
+	}
+	if math.Abs(Um(10)-1e-5) > 1e-20 {
+		t.Error("Um(10) != 1e-5")
+	}
+}
+
+func TestMu0Eps0SpeedOfLight(t *testing.T) {
+	// 1/sqrt(µ0·ε0) must be the speed of light to ~ppm.
+	c := 1 / math.Sqrt(Mu0*Eps0)
+	if math.Abs(c-2.99792458e8)/2.99792458e8 > 1e-5 {
+		t.Errorf("1/sqrt(µ0ε0) = %g, want c", c)
+	}
+}
