@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all tier1 vet build test race bench bench-obs clean
+
+all: tier1
+
+# tier1 is the repository's gating check: vet, build, full test suite
+# under the race detector.
+tier1: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the full experiment benchmark suite (slow).
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$'
+
+# bench-obs runs the short hot-path pass guarding the instrumentation
+# layer's no-overhead requirement and writes BENCH_obs.json.
+bench-obs:
+	./scripts/bench.sh
+
+clean:
+	rm -f BENCH_obs.json

@@ -168,6 +168,21 @@ func BenchmarkE10TableLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkE10SegmentRLC times one full segment extraction (analytic
+// R, modelled C, table-composed loop L) — the per-segment cost the
+// clocktree flow pays, and the hot path guarded by the instrumentation
+// layer's no-op-overhead requirement.
+func BenchmarkE10SegmentRLC(b *testing.B) {
+	e := benchExtractor(b)
+	seg := paper.Fig1Segment()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.SegmentRLC(seg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkE10DirectSolve times the equivalent full field solve the
 // lookup replaces; the ratio to BenchmarkE10TableLookup is the
 // speedup the paper's method buys.

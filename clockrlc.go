@@ -39,6 +39,8 @@
 package clockrlc
 
 import (
+	"io"
+
 	"clockrlc/internal/bus"
 	"clockrlc/internal/cascade"
 	"clockrlc/internal/clocktree"
@@ -47,6 +49,7 @@ import (
 	"clockrlc/internal/geom"
 	"clockrlc/internal/loop"
 	"clockrlc/internal/netlist"
+	"clockrlc/internal/obs"
 	"clockrlc/internal/peec"
 	"clockrlc/internal/repeater"
 	"clockrlc/internal/screen"
@@ -140,8 +143,9 @@ type (
 )
 
 // NewExtractor builds inductance tables and returns an extractor.
-func NewExtractor(tech Technology, freq float64, axes TableAxes, shieldings []Shielding) (*Extractor, error) {
-	return core.NewExtractor(tech, freq, axes, shieldings)
+// Options (e.g. WithObserver) configure instrumentation.
+func NewExtractor(tech Technology, freq float64, axes TableAxes, shieldings []Shielding, opts ...ExtractorOption) (*Extractor, error) {
+	return core.NewExtractor(tech, freq, axes, shieldings, opts...)
 }
 
 // NewExtractorFromTables wraps previously built or loaded tables.
@@ -450,3 +454,55 @@ type GeomTechnology = geom.Technology
 
 // GeomLayer is one routing layer of a GeomTechnology.
 type GeomLayer = geom.Layer
+
+// Observability: span tracing, metrics and trace sinks (see the
+// "Observability" sections of README.md and DESIGN.md).
+type (
+	// Observer collects hierarchical timing spans and routes them to
+	// sinks. The zero-cost process default is obtained with
+	// DefaultObserver.
+	Observer = obs.Observer
+	// ObsSpan is one timed region of work.
+	ObsSpan = obs.Span
+	// ObsSink consumes trace events (span starts/ends, metric
+	// snapshots).
+	ObsSink = obs.Sink
+	// ObsEvent is one emitted trace record.
+	ObsEvent = obs.Event
+	// MetricsSnapshot is a point-in-time copy of every registered
+	// counter, gauge and histogram.
+	MetricsSnapshot = obs.Snapshot
+	// ExtractorOption configures NewExtractor/NewMultiExtractor.
+	ExtractorOption = core.Option
+)
+
+// WithObserver routes an extractor's spans to the given observer.
+func WithObserver(o *Observer) ExtractorOption { return core.WithObserver(o) }
+
+// DefaultObserver returns the process-wide observer used by all
+// instrumented code unless overridden. It is disabled (and its spans
+// cost nothing) until a sink is attached with AddSink.
+func DefaultObserver() *Observer { return obs.Default() }
+
+// NewObserver returns an independent observer emitting to the sinks.
+func NewObserver(sinks ...ObsSink) *Observer { return obs.New(sinks...) }
+
+// NewJSONLTraceSink returns a sink writing one JSON object per event
+// to w (the JSON-lines trace format of the -trace CLI flag).
+func NewJSONLTraceSink(w io.Writer) ObsSink { return obs.NewJSONLSink(w) }
+
+// SnapshotMetrics captures the process-wide metrics registry.
+func SnapshotMetrics() *MetricsSnapshot { return obs.DefaultRegistry().Snapshot() }
+
+// ResetMetrics zeroes every process-wide counter, gauge and histogram
+// (existing metric handles remain valid).
+func ResetMetrics() { obs.DefaultRegistry().Reset() }
+
+// PublishMetricsExpvar exposes the metrics registry through the
+// standard expvar endpoint (/debug/vars) under the key "clockrlc".
+func PublishMetricsExpvar() { obs.PublishExpvar() }
+
+// ClampedTableLookups reports how many table lookups fell outside the
+// built axes and were answered by spline extrapolation — nonzero
+// values mean the table axes should be widened for this design.
+func ClampedTableLookups() int64 { return table.ClampedLookups() }

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"clockrlc/internal/cliobs"
 	"clockrlc/internal/core"
 	"clockrlc/internal/geom"
 	"clockrlc/internal/paper"
@@ -22,12 +23,20 @@ import (
 )
 
 func main() {
+	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	exp := flag.String("exp", "all", "experiment: all, fig23, fig5, table1, skew, length, tables, freq, shields, stat, shieldrule, repeater, busnoise, skewvar")
 	csv := flag.String("csv", "", "write the Fig. 2/3 waveforms to this CSV file")
 	samples := flag.Int("samples", 60, "Monte-Carlo samples for -exp stat")
 	flag.Parse()
 
-	if err := run(*exp, *csv, *samples); err != nil {
+	sess, err := obsFlags.Start("figures")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	err = run(*exp, *csv, *samples)
+	sess.Close()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}

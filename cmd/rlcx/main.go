@@ -17,14 +17,17 @@ import (
 	"fmt"
 	"os"
 
+	"clockrlc/internal/cliobs"
 	"clockrlc/internal/core"
 	"clockrlc/internal/geom"
 	"clockrlc/internal/netlist"
+	"clockrlc/internal/obs"
 	"clockrlc/internal/table"
 	"clockrlc/internal/units"
 )
 
 func main() {
+	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	var (
 		length    = flag.Float64("len", 6000, "segment length (µm)")
 		wsig      = flag.Float64("wsig", 10, "signal width (µm)")
@@ -39,8 +42,15 @@ func main() {
 		sections  = flag.Int("sections", 8, "ladder sections for -netlist")
 	)
 	flag.Parse()
-	if err := run(*length, *wsig, *wgnd, *space, *shield, *thickness, *capHeight,
-		*tr, *tablePath, *doNetlist, *sections); err != nil {
+	sess, err := obsFlags.Start("rlcx")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlcx:", err)
+		os.Exit(1)
+	}
+	err = run(*length, *wsig, *wgnd, *space, *shield, *thickness, *capHeight,
+		*tr, *tablePath, *doNetlist, *sections)
+	sess.Close()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rlcx:", err)
 		os.Exit(1)
 	}
@@ -104,17 +114,27 @@ func run(length, wsig, wgnd, space float64, shield string, thickness, capHeight,
 	}
 	fmt.Printf("  (direct proximity-resolved loop L = %.4f nH)\n", units.ToNH(direct))
 
+	// Formulate the distributed ladder under its own span (printed only
+	// with -netlist, but always built so a trace shows the full
+	// extract → lookup → cascade pipeline).
+	sp := obs.Start("cascade")
+	nl := netlist.New()
+	_, err = nl.AddLadder("seg", "in", "out", rlc, sections)
+	sp.SetAttr("sections", sections)
+	sp.End()
+	if err != nil {
+		return err
+	}
 	if doNetlist {
-		nl := netlist.New()
-		if _, err := nl.AddLadder("seg", "in", "out", rlc, sections); err != nil {
-			return err
-		}
 		fmt.Println()
 		title := fmt.Sprintf("%d-section RLC ladder for %g um %s segment, nodes in -> out",
 			sections, length, shield)
 		if err := nl.WriteSPICE(os.Stdout, title); err != nil {
 			return err
 		}
+	}
+	if n := table.ClampedLookups(); n > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d table lookup(s) fell outside the built axes and were answered by spline extrapolation; widen the table axes to cover this geometry\n", n)
 	}
 	return nil
 }

@@ -18,12 +18,15 @@ import (
 	"os"
 	"time"
 
+	"clockrlc/internal/cliobs"
 	"clockrlc/internal/geom"
+	"clockrlc/internal/obs"
 	"clockrlc/internal/table"
 	"clockrlc/internal/units"
 )
 
 func main() {
+	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	var (
 		out       = flag.String("out", "tables.json", "output file")
 		name      = flag.String("name", "layer", "table set name")
@@ -45,8 +48,15 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*out, *name, *thickness, *rhoName, *shield, *planeGap, *planeT,
-		*tr, *wmin, *wmax, *nw, *smin, *smax, *ns, *lmin, *lmax, *nl); err != nil {
+	sess, err := obsFlags.Start("tablegen")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tablegen:", err)
+		os.Exit(1)
+	}
+	err = run(*out, *name, *thickness, *rhoName, *shield, *planeGap, *planeT,
+		*tr, *wmin, *wmax, *nw, *smin, *smax, *ns, *lmin, *lmax, *nl)
+	sess.Close()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tablegen:", err)
 		os.Exit(1)
 	}
@@ -103,5 +113,16 @@ func run(out, name string, thickness float64, rhoName, shield string,
 		return err
 	}
 	fmt.Printf("wrote %s in %v\n", out, time.Since(start).Round(time.Millisecond))
+
+	// Summarise the build's work from the instrumentation counters.
+	builds := obs.GetCounter("table.builds").Value()
+	solves := obs.GetCounter("table.solver_calls").Value()
+	buildNs := obs.GetCounter("table.build_ns").Value()
+	perTable := time.Duration(0)
+	if builds > 0 {
+		perTable = time.Duration(buildNs / builds).Round(time.Millisecond)
+	}
+	fmt.Printf("metrics: %d table set(s) built, %d field-solver calls, %v per table set\n",
+		builds, solves, perTable)
 	return nil
 }

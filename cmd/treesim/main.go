@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"clockrlc/internal/cliobs"
 	"clockrlc/internal/clocktree"
 	"clockrlc/internal/core"
 	"clockrlc/internal/geom"
@@ -22,6 +23,7 @@ import (
 )
 
 func main() {
+	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	var (
 		levels    = flag.Int("levels", 2, "buffer levels (leaves = 4^levels)")
 		span      = flag.Float64("span", 4000, "top-level half span (µm)")
@@ -35,7 +37,14 @@ func main() {
 		imbalance = flag.Float64("imbalance", 1, "load multiplier on leaf 0")
 	)
 	flag.Parse()
-	if err := run(*levels, *span, *wsig, *wgnd, *space, *shield, *tr, *rdrv, *cin, *imbalance); err != nil {
+	sess, err := obsFlags.Start("treesim")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treesim:", err)
+		os.Exit(1)
+	}
+	err = run(*levels, *span, *wsig, *wgnd, *space, *shield, *tr, *rdrv, *cin, *imbalance)
+	sess.Close()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "treesim:", err)
 		os.Exit(1)
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"clockrlc/internal/cliobs"
 	"clockrlc/internal/core"
 	"clockrlc/internal/geom"
 	"clockrlc/internal/sizing"
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	var (
 		length = flag.Float64("len", 4000, "segment length (µm)")
 		pitch  = flag.Float64("pitch", 4, "signal-to-shield centre pitch (µm)")
@@ -34,7 +36,14 @@ func main() {
 		noL    = flag.Bool("rconly", false, "size with the RC-only netlist")
 	)
 	flag.Parse()
-	if err := run(*length, *pitch, *wgnd, *rdrv, *cload, *tr, *wmin, *wmax, *nCand, !*noL); err != nil {
+	sess, err := obsFlags.Start("wiresize")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wiresize:", err)
+		os.Exit(1)
+	}
+	err = run(*length, *pitch, *wgnd, *rdrv, *cload, *tr, *wmin, *wmax, *nCand, !*noL)
+	sess.Close()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "wiresize:", err)
 		os.Exit(1)
 	}

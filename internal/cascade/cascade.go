@@ -31,10 +31,22 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"clockrlc/internal/linalg"
 	"clockrlc/internal/loop"
+	"clockrlc/internal/obs"
 	"clockrlc/internal/peec"
+)
+
+// Cascading accounting: cascade.segments counts per-segment isolated
+// loop solves (the paper's unit of work); the full-tree reference
+// solve is tracked separately since it scales with the whole bar set.
+var (
+	cascadeSegments = obs.GetCounter("cascade.segments")
+	cascadeRuns     = obs.GetCounter("cascade.runs")
+	fullSolves      = obs.GetCounter("cascade.full_solves")
+	fullSolveNs     = obs.GetCounter("cascade.full_solve_ns")
 )
 
 // Dir is a routing direction in the plane.
@@ -222,6 +234,11 @@ func (t *Tree) SegmentLoopL(i int, f float64) (float64, error) {
 // parallel (all sinks are shorted ends of the loop). For Fig. 6(a)
 // this reproduces Lab + (Lbc + Lce) ∥ (Lbd + Ldf).
 func (t *Tree) CascadedLoopL(f float64) (float64, error) {
+	sp := obs.Start("cascade.cascaded_loop_l")
+	defer sp.End()
+	sp.SetAttr("segments", len(t.Specs))
+	cascadeRuns.Inc()
+	cascadeSegments.Add(int64(len(t.Specs)))
 	segL := make([]float64, len(t.Specs))
 	for i := range t.Specs {
 		l, err := t.SegmentLoopL(i, f)
@@ -263,6 +280,11 @@ func (t *Tree) FullLoopL(f float64) (float64, error) {
 	if f <= 0 {
 		return 0, fmt.Errorf("cascade: frequency must be positive, got %g", f)
 	}
+	sp := obs.Start("cascade.full_loop_l")
+	defer sp.End()
+	sp.SetAttr("segments", len(t.Specs))
+	fullSolves.Inc()
+	defer obs.SinceNs(fullSolveNs, time.Now())
 	type branch struct {
 		bar    peec.Bar
 		orient float64

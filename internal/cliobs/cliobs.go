@@ -1,0 +1,136 @@
+// Package cliobs wires the obs instrumentation layer into the
+// command-line tools: every cmd registers the same -trace, -metrics,
+// -cpuprofile, -memprofile and -pprof flags, starts a Session around
+// its run, and closes it on exit. Keeping the plumbing here means a
+// new tool gets the full observability surface in two lines.
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"clockrlc/internal/obs"
+)
+
+// Flags holds the parsed observability flag values.
+type Flags struct {
+	Trace      string
+	Metrics    bool
+	CPUProfile string
+	MemProfile string
+	PprofAddr  string
+}
+
+// AddFlags registers the shared observability flags on fs and returns
+// the value holder to pass to Start after parsing.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Trace, "trace", "", "write a JSON-lines span trace to `file`")
+	fs.BoolVar(&f.Metrics, "metrics", false, "print a metrics snapshot (Prometheus text format) to stderr on exit")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to `file` on exit")
+	fs.StringVar(&f.PprofAddr, "pprof", "", "serve /debug/pprof and /debug/vars on `addr` (e.g. :6060)")
+	return f
+}
+
+// Session is the live observability state of one CLI run.
+type Session struct {
+	root     obs.Span
+	traceF   *os.File
+	sink     *obs.JSONLSink
+	cpuF     *os.File
+	memPath  string
+	metrics  bool
+	observer *obs.Observer
+}
+
+// Start opens the requested sinks and profiles and begins a root span
+// named after the tool. It returns a Session whose Close must run
+// before exit (defer it right after a successful Start).
+func (f *Flags) Start(name string) (*Session, error) {
+	s := &Session{memPath: f.MemProfile, metrics: f.Metrics, observer: obs.Default()}
+	if f.Trace != "" {
+		tf, err := os.Create(f.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("-trace: %w", err)
+		}
+		s.traceF = tf
+		s.sink = obs.NewJSONLSink(tf)
+		s.observer.AddSink(s.sink)
+	}
+	if f.CPUProfile != "" {
+		cf, err := os.Create(f.CPUProfile)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			s.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		s.cpuF = cf
+	}
+	if f.PprofAddr != "" {
+		obs.PublishExpvar()
+		go func(addr string) {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: -pprof server: %v\n", err)
+			}
+		}(f.PprofAddr)
+	}
+	s.root = s.observer.Start(name)
+	return s, nil
+}
+
+// Close ends the root span, appends a final metrics snapshot to the
+// trace, flushes and closes everything, and honours -metrics and
+// -memprofile. Errors are reported to stderr (the tool's own exit
+// status should reflect its work, not its telemetry).
+func (s *Session) Close() {
+	if s == nil {
+		return
+	}
+	s.root.End()
+	if s.sink != nil {
+		snap := obs.DefaultRegistry().Snapshot()
+		s.sink.Emit(&obs.Event{Type: obs.EventMetrics, Time: time.Now(), Snap: snap})
+		s.observer.RemoveSink(s.sink)
+		if err := s.sink.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: trace write: %v\n", err)
+		}
+		if err := s.traceF.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: trace close: %v\n", err)
+		}
+	}
+	if s.cpuF != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuF.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: cpuprofile close: %v\n", err)
+		}
+	}
+	if s.memPath != "" {
+		mf, err := os.Create(s.memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: -memprofile: %v\n", err)
+		} else {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: -memprofile: %v\n", err)
+			}
+			mf.Close()
+		}
+	}
+	if s.metrics {
+		snap := obs.DefaultRegistry().Snapshot()
+		if err := snap.WriteText(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: -metrics: %v\n", err)
+		}
+	}
+}

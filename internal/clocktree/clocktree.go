@@ -18,7 +18,15 @@ import (
 
 	"clockrlc/internal/core"
 	"clockrlc/internal/netlist"
+	"clockrlc/internal/obs"
 	"clockrlc/internal/sim"
+)
+
+// H-tree simulation accounting: stages are the unit of transient work
+// (one MNA run each), leaves the unit of skew statistics.
+var (
+	treeStages = obs.GetCounter("clocktree.stages")
+	treeLeaves = obs.GetCounter("clocktree.leaves")
 )
 
 // Buffer is the clock buffer model.
@@ -136,6 +144,11 @@ func (o SimOptions) withDefaults(buf Buffer) SimOptions {
 // the four sink 50 % arrival times measured from the stage's launch.
 func (t *Tree) stageDelays(levelIdx, stageID int, opts SimOptions, leafBase int, isLeaf bool) ([4]float64, error) {
 	var delays [4]float64
+	sp := obs.Start("clocktree.stage")
+	defer sp.End()
+	sp.SetAttr("level", levelIdx)
+	sp.SetAttr("stage", stageID)
+	treeStages.Inc()
 	lv := t.Levels[levelIdx]
 	nl := netlist.New()
 	nl.AddV("vsrc", "drv", netlist.Ground, netlist.Ramp{V0: 0, V1: 1, Start: opts.TimeStep, Rise: t.Buffer.OutSlew})
@@ -214,6 +227,9 @@ func (t *Tree) stageDelays(levelIdx, stageID int, opts SimOptions, leafBase int,
 // order starting at 0 for the root stage; ids are stable for use with
 // SimOptions.RCScale.
 func (t *Tree) Arrivals(opts SimOptions) ([]float64, error) {
+	sp := obs.Start("clocktree.arrivals")
+	defer sp.End()
+	sp.SetAttr("levels", len(t.Levels))
 	opts = opts.withDefaults(t.Buffer)
 	type job struct {
 		level   int
@@ -249,6 +265,7 @@ func (t *Tree) Arrivals(opts SimOptions) ([]float64, error) {
 	if len(arrivals) != nLeaves {
 		return nil, fmt.Errorf("clocktree: produced %d arrivals, expected %d", len(arrivals), nLeaves)
 	}
+	treeLeaves.Add(int64(nLeaves))
 	return arrivals, nil
 }
 

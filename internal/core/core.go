@@ -23,10 +23,19 @@ import (
 	"clockrlc/internal/geom"
 	"clockrlc/internal/loop"
 	"clockrlc/internal/netlist"
+	"clockrlc/internal/obs"
 	"clockrlc/internal/peec"
 	"clockrlc/internal/resist"
 	"clockrlc/internal/table"
 	"clockrlc/internal/units"
+)
+
+// Extraction accounting: segments extracted and loop compositions
+// performed (each loop composition is four table lookups).
+var (
+	segmentsExtracted = obs.GetCounter("core.segments_extracted")
+	loopCompositions  = obs.GetCounter("core.loop_compositions")
+	directSolves      = obs.GetCounter("core.direct_solves")
 )
 
 // Technology collects the per-layer process quantities extraction
@@ -82,12 +91,32 @@ type Extractor struct {
 	// runs at.
 	Frequency float64
 	tables    map[geom.Shielding]*table.Set
+	obs       *obs.Observer
+}
+
+// Option configures an Extractor at construction time.
+type Option func(*Extractor)
+
+// WithObserver routes the extractor's spans (table builds, segment
+// extraction, lookups) to the given observer instead of the
+// process-wide default. Metrics counters remain process-wide.
+func WithObserver(o *obs.Observer) Option {
+	return func(e *Extractor) { e.obs = o }
+}
+
+// observer returns the configured observer, falling back to the
+// process default.
+func (e *Extractor) observer() *obs.Observer {
+	if e.obs != nil {
+		return e.obs
+	}
+	return obs.Default()
 }
 
 // NewExtractor builds the inductance tables for the requested
 // shielding configurations (nil selects ShieldNone and
 // ShieldMicrostrip) over the given axes and returns a ready extractor.
-func NewExtractor(tech Technology, freq float64, axes table.Axes, shieldings []geom.Shielding) (*Extractor, error) {
+func NewExtractor(tech Technology, freq float64, axes table.Axes, shieldings []geom.Shielding, opts ...Option) (*Extractor, error) {
 	if err := tech.Validate(); err != nil {
 		return nil, err
 	}
@@ -98,6 +127,11 @@ func NewExtractor(tech Technology, freq float64, axes table.Axes, shieldings []g
 		shieldings = []geom.Shielding{geom.ShieldNone, geom.ShieldMicrostrip}
 	}
 	e := &Extractor{Tech: tech, Frequency: freq, tables: map[geom.Shielding]*table.Set{}}
+	for _, o := range opts {
+		o(e)
+	}
+	sp := e.observer().Start("core.build_tables")
+	defer sp.End()
 	for _, sh := range shieldings {
 		cfg := table.Config{
 			Name:           fmt.Sprintf("layer/%v", sh),
@@ -108,7 +142,7 @@ func NewExtractor(tech Technology, freq float64, axes table.Axes, shieldings []g
 			PlaneThickness: tech.PlaneThickness,
 			Frequency:      freq,
 		}
-		set, err := table.Build(cfg, axes)
+		set, err := table.BuildObserved(cfg, axes, e.observer())
 		if err != nil {
 			return nil, fmt.Errorf("core: building %v tables: %w", sh, err)
 		}
@@ -131,6 +165,11 @@ func NewExtractorFromTables(tech Technology, freq float64, sets ...*table.Set) (
 	}
 	return e, nil
 }
+
+// SetObserver routes the extractor's spans to o (nil restores the
+// process default). Covers extractors built via NewExtractorFromTables
+// or NewMultiExtractor, which predate the Option list.
+func (e *Extractor) SetObserver(o *obs.Observer) { e.obs = o }
 
 // Tables exposes the table set for a shielding configuration.
 func (e *Extractor) Tables(sh geom.Shielding) (*table.Set, error) {
@@ -158,6 +197,10 @@ func (e *Extractor) LoopL(s Segment) (float64, error) {
 	if err := s.Validate(); err != nil {
 		return 0, err
 	}
+	sp := e.observer().Start("table.lookup")
+	defer sp.End()
+	sp.SetAttr("shielding", s.Shielding.String())
+	loopCompositions.Inc()
 	set, err := e.Tables(s.Shielding)
 	if err != nil {
 		return 0, err
@@ -201,6 +244,9 @@ func (e *Extractor) LoopL(s Segment) (float64, error) {
 // inherent envelope of the paper's method, of a kind with its own
 // Table I cascading errors.
 func (e *Extractor) DirectLoopL(s Segment) (float64, error) {
+	sp := e.observer().Start("core.direct_loop_l")
+	defer sp.End()
+	directSolves.Inc()
 	blk, err := e.Block(s)
 	if err != nil {
 		return 0, err
@@ -242,6 +288,10 @@ func (e *Extractor) Block(s Segment) (*geom.Block, error) {
 // resistance, grounded-total capacitance of the signal trace, and the
 // table-composed loop inductance.
 func (e *Extractor) SegmentRLC(s Segment) (netlist.SegmentRLC, error) {
+	sp := e.observer().Start("core.extract")
+	defer sp.End()
+	sp.SetAttr("length", s.Length)
+	segmentsExtracted.Inc()
 	r, err := resist.ACSkinArea(s.Length, s.SignalWidth, e.Tech.Thickness, e.Tech.Rho, e.Frequency)
 	if err != nil {
 		return netlist.SegmentRLC{}, err

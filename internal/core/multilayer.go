@@ -28,7 +28,7 @@ type MultiExtractor struct {
 // NewMultiExtractor builds tables for every layer over shared axes and
 // shielding configurations (nil selects ShieldNone + ShieldMicrostrip,
 // as in NewExtractor).
-func NewMultiExtractor(layers []LayerTech, freq float64, axes table.Axes, shieldings []geom.Shielding) (*MultiExtractor, error) {
+func NewMultiExtractor(layers []LayerTech, freq float64, axes table.Axes, shieldings []geom.Shielding, opts ...Option) (*MultiExtractor, error) {
 	if len(layers) == 0 {
 		return nil, fmt.Errorf("core: no layers")
 	}
@@ -40,7 +40,7 @@ func NewMultiExtractor(layers []LayerTech, freq float64, axes table.Axes, shield
 		if _, dup := m.layers[l.Name]; dup {
 			return nil, fmt.Errorf("core: duplicate layer %q", l.Name)
 		}
-		e, err := NewExtractor(l.Tech, freq, axes, shieldings)
+		e, err := NewExtractor(l.Tech, freq, axes, shieldings, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("core: layer %q: %w", l.Name, err)
 		}

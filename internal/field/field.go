@@ -17,9 +17,20 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"clockrlc/internal/linalg"
+	"clockrlc/internal/obs"
 	"clockrlc/internal/units"
+)
+
+// Electrostatic solver accounting: SOR relaxations run, total
+// iterations they took, and wall time per capacitance matrix.
+var (
+	fieldSolves   = obs.GetCounter("field.solves")
+	fieldSorIters = obs.GetCounter("field.sor_iters")
+	fieldMatrixNs = obs.GetCounter("field.cap_matrix_ns")
+	fieldSorHist  = obs.GetHistogram("field.sor_iters_per_solve")
 )
 
 // Rect is an axis-aligned rectangle in the cross-section plane:
@@ -344,10 +355,15 @@ func CapacitanceMatrixLayered(conds, grounds []Rect, background float64, layers 
 			return nil, fmt.Errorf("field: conductor %d not resolved by the grid; refine NY/NZ", i)
 		}
 	}
+	defer obs.SinceNs(fieldMatrixNs, time.Now())
 	n := len(conds)
 	c := linalg.NewMatrix(n, n)
 	for k := 0; k < n; k++ {
-		if _, err := g.solve(k, opt); err != nil {
+		it, err := g.solve(k, opt)
+		fieldSolves.Inc()
+		fieldSorIters.Add(int64(it))
+		fieldSorHist.Observe(float64(it))
+		if err != nil {
 			return nil, err
 		}
 		q := g.charges(n)

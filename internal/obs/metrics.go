@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric (calls, cache
+// hits, accumulated nanoseconds). All methods are safe for concurrent
+// use and allocation-free.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is tolerated but unconventional).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// reset zeroes the counter in place (shared pointers stay valid).
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is a last-value float metric (a dimension, a current size).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value (zero if never set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) reset() { g.bits.Store(0) }
+
+// histDecades spans 1e-16 … 1e+15 in decade buckets — wide enough for
+// seconds (1e-12 … 1e3), henries (1e-12 … 1e-6) and raw counts.
+const (
+	histDecades  = 32
+	histMinExp10 = -16
+)
+
+// Histogram records a distribution as count/sum/min/max plus decade
+// (log10) buckets of |v|; a dedicated bucket collects zero and
+// negative observations. It is mutex-protected — intended for
+// per-operation observations (a transient's step count, a table
+// build's duration), not per-inner-loop calls.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      float64
+	min, max float64
+	buckets  [histDecades]int64
+	under    int64 // v <= 0 or below the first decade
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if v > 0 {
+		if i := int(math.Floor(math.Log10(v))) - histMinExp10; i >= 0 && i < histDecades {
+			h.buckets[i]++
+		} else if i >= histDecades {
+			h.buckets[histDecades-1]++
+		} else {
+			h.under++
+		}
+	} else {
+		h.under++
+	}
+	h.mu.Unlock()
+}
+
+// HistStats is a histogram's reduced summary.
+type HistStats struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// Stats returns the current summary.
+func (h *Histogram) Stats() HistStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+	}
+	return s
+}
+
+// Buckets returns the non-empty decade buckets as (lower bound 10^k,
+// count) pairs in increasing order, with the under/zero bucket first
+// as (0, count) when occupied.
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.under > 0 {
+		bounds = append(bounds, 0)
+		counts = append(counts, h.under)
+	}
+	for i, n := range h.buckets {
+		if n > 0 {
+			bounds = append(bounds, math.Pow(10, float64(i+histMinExp10)))
+			counts = append(counts, n)
+		}
+	}
+	return bounds, counts
+}
+
+func (h *Histogram) reset() {
+	h.mu.Lock()
+	h.count, h.sum, h.min, h.max, h.under = 0, 0, 0, 0, 0
+	h.buckets = [histDecades]int64{}
+	h.mu.Unlock()
+}
+
+// Registry owns named metrics. Lookups get-or-create, so instrumented
+// packages can grab their metrics once at init and callers can read
+// them by name later.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry returns the process-wide registry the package-level
+// helpers use.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every metric in place. Existing pointers held by
+// instrumented packages remain valid, so Reset gives callers (CLIs
+// measuring one phase, tests) a clean delta without re-registration.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.reset()
+	}
+	for _, g := range r.gauges {
+		g.reset()
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+}
+
+// names returns the registry's metric names, sorted, per kind.
+func (r *Registry) names() (cs, gs, hs []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n := range r.counters {
+		cs = append(cs, n)
+	}
+	for n := range r.gauges {
+		gs = append(gs, n)
+	}
+	for n := range r.hists {
+		hs = append(hs, n)
+	}
+	sort.Strings(cs)
+	sort.Strings(gs)
+	sort.Strings(hs)
+	return cs, gs, hs
+}
+
+// GetCounter returns a counter from the default registry.
+func GetCounter(name string) *Counter { return defaultRegistry.Counter(name) }
+
+// GetGauge returns a gauge from the default registry.
+func GetGauge(name string) *Gauge { return defaultRegistry.Gauge(name) }
+
+// GetHistogram returns a histogram from the default registry.
+func GetHistogram(name string) *Histogram { return defaultRegistry.Histogram(name) }
+
+// SinceNs accumulates the nanoseconds elapsed since t0 into c — the
+// idiom for coarse wall-time accounting:
+//
+//	defer obs.SinceNs(buildNs, time.Now())
+func SinceNs(c *Counter, t0 time.Time) { c.Add(time.Since(t0).Nanoseconds()) }

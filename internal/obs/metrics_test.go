@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines; run
+// under -race this also proves the increment path is data-race free.
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("concurrent.hits")
+	const goroutines, perG = 16, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	// Get-or-create returns the same instance.
+	if r.Counter("concurrent.hits") != c {
+		t.Error("Counter lookup returned a different instance")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewRegistry().Gauge("g")
+	if g.Value() != 0 {
+		t.Errorf("unset gauge = %g, want 0", g.Value())
+	}
+	g.Set(-2.5)
+	if g.Value() != -2.5 {
+		t.Errorf("gauge = %g, want -2.5", g.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewRegistry().Histogram("h")
+	for _, v := range []float64{1e-9, 2e-9, 3e-9, 0.5} {
+		h.Observe(v)
+	}
+	s := h.Stats()
+	if s.Count != 4 {
+		t.Errorf("count = %d, want 4", s.Count)
+	}
+	if s.Min != 1e-9 || s.Max != 0.5 {
+		t.Errorf("min/max = %g/%g, want 1e-9/0.5", s.Min, s.Max)
+	}
+	wantMean := (1e-9 + 2e-9 + 3e-9 + 0.5) / 4
+	if diff := s.Mean - wantMean; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("mean = %g, want %g", s.Mean, wantMean)
+	}
+	bounds, counts := h.Buckets()
+	// 1e-9, 2e-9, 3e-9 share the 1e-9 decade; 0.5 lands in 1e-1.
+	if len(bounds) != 2 || bounds[0] != 1e-9 || counts[0] != 3 || bounds[1] != 1e-1 || counts[1] != 1 {
+		t.Errorf("buckets = %v %v", bounds, counts)
+	}
+	h.Observe(0) // under bucket, must not panic on log10
+	if _, counts := h.Buckets(); counts[0] != 1 {
+		t.Errorf("zero observation not in under bucket: %v", counts)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewRegistry().Histogram("hc")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Stats().Count; got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+}
+
+func TestRegistryResetKeepsPointers(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	c.Add(7)
+	g.Set(3)
+	h.Observe(1)
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Stats().Count != 0 {
+		t.Error("Reset did not zero metrics")
+	}
+	if r.Counter("c") != c {
+		t.Error("Reset dropped the counter instance")
+	}
+	c.Inc()
+	if r.Counter("c").Value() != 1 {
+		t.Error("counter unusable after Reset")
+	}
+}
+
+func TestSnapshotAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("table.lookup_hits").Add(12)
+	r.Gauge("sim.dim").Set(64)
+	r.Histogram("sim.steps_per_run").Observe(2000)
+	s := r.Snapshot()
+	if s.Counters["table.lookup_hits"] != 12 {
+		t.Errorf("snapshot counter = %d", s.Counters["table.lookup_hits"])
+	}
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE clockrlc_table_lookup_hits counter",
+		"clockrlc_table_lookup_hits 12",
+		"clockrlc_sim_dim 64",
+		"clockrlc_sim_steps_per_run_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text snapshot missing %q:\n%s", want, text)
+		}
+	}
+	buf.Reset()
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"table.lookup_hits": 12`) {
+		t.Errorf("JSON snapshot missing counter:\n%s", buf.String())
+	}
+}
+
+func TestSinceNs(t *testing.T) {
+	c := NewRegistry().Counter("ns")
+	SinceNs(c, time.Now().Add(-time.Millisecond))
+	if got := c.Value(); got < int64(time.Millisecond) {
+		t.Errorf("SinceNs accumulated %d ns, want >= 1ms", got)
+	}
+}

@@ -1,0 +1,214 @@
+// Package obs is the extraction pipeline's observability layer:
+// span-style tracing with hierarchical timing, typed process-wide
+// metrics (counters, gauges, histograms) and pluggable event sinks.
+// It is dependency-free (stdlib only) and designed so that the
+// default, unobserved configuration costs nothing measurable on the
+// hot paths it instruments:
+//
+//   - starting a span on an Observer with no sinks returns a zero
+//     Span value without locking or allocating;
+//   - counters are single atomic adds, created once at package init
+//     of the instrumented package and shared process-wide.
+//
+// Tracing model: an Observer is a tracing scope. Start begins a span;
+// spans started while another span of the same Observer is open are
+// parented to it (an explicit stack, no goroutine magic), so
+// single-goroutine pipelines — extract → table lookup → cascade —
+// nest naturally. For concurrent fan-out, Span.Child parents
+// explicitly without touching the stack. Every span start/end is
+// forwarded to the Observer's sinks as an Event.
+//
+// Metrics model: counters/gauges/histograms live in a Registry
+// (package-level helpers use a process-wide default, like expvar).
+// Snapshot reduces a registry to a serialisable value that can be
+// dumped as JSON, Prometheus text, or published through expvar.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Observer is a tracing scope: spans started on it are timed and
+// forwarded to its sinks. The zero value and nil are valid, disabled
+// observers. An Observer with no sinks is disabled and Start is
+// allocation-free.
+type Observer struct {
+	enabled atomic.Bool
+	nextID  atomic.Uint64
+
+	mu    sync.Mutex
+	sinks []Sink
+	stack []uint64 // open-span ids, innermost last (auto-parenting)
+	now   func() time.Time
+}
+
+// New returns an Observer forwarding to the given sinks (none ⇒
+// disabled until AddSink).
+func New(sinks ...Sink) *Observer {
+	o := &Observer{now: time.Now}
+	for _, s := range sinks {
+		o.AddSink(s)
+	}
+	return o
+}
+
+var defaultObserver = New()
+
+// Default returns the process-wide observer. Library code that is not
+// handed an explicit Observer (e.g. via core's WithObserver option)
+// traces here; it stays disabled until a sink is attached, typically
+// by a CLI's -trace flag.
+func Default() *Observer { return defaultObserver }
+
+// Start begins a span on the default observer.
+func Start(name string) Span { return defaultObserver.Start(name) }
+
+// AddSink attaches a sink and enables the observer.
+func (o *Observer) AddSink(s Sink) {
+	if s == nil {
+		return
+	}
+	o.mu.Lock()
+	o.sinks = append(o.sinks, s)
+	if o.now == nil {
+		o.now = time.Now
+	}
+	o.mu.Unlock()
+	o.enabled.Store(true)
+}
+
+// RemoveSink detaches a previously added sink; the observer is
+// disabled again when no sinks remain.
+func (o *Observer) RemoveSink(s Sink) {
+	o.mu.Lock()
+	kept := o.sinks[:0]
+	for _, have := range o.sinks {
+		if have != s {
+			kept = append(kept, have)
+		}
+	}
+	o.sinks = kept
+	if len(kept) == 0 {
+		o.stack = o.stack[:0]
+		o.enabled.Store(false)
+	}
+	o.mu.Unlock()
+}
+
+// Enabled reports whether spans are currently recorded.
+func (o *Observer) Enabled() bool { return o != nil && o.enabled.Load() }
+
+func (o *Observer) clock() time.Time {
+	if o.now != nil {
+		return o.now()
+	}
+	return time.Now()
+}
+
+// Span is one timed operation. The zero value is a valid, disabled
+// span whose methods are no-ops, so instrumented code never needs to
+// branch on whether tracing is on.
+type Span struct{ d *spanData }
+
+type spanData struct {
+	o      *Observer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	done   atomic.Bool
+
+	mu    sync.Mutex
+	attrs map[string]any
+}
+
+// Start begins a span. Its parent is the innermost span of this
+// observer that is still open (zero for a root span).
+func (o *Observer) Start(name string) Span {
+	if o == nil || !o.enabled.Load() {
+		return Span{}
+	}
+	d := &spanData{o: o, id: o.nextID.Add(1), name: name, start: o.clock()}
+	o.mu.Lock()
+	if n := len(o.stack); n > 0 {
+		d.parent = o.stack[n-1]
+	}
+	o.stack = append(o.stack, d.id)
+	sinks := o.sinks
+	o.mu.Unlock()
+	emit(sinks, &Event{Type: EventSpanStart, Name: name, Span: d.id, Parent: d.parent, Time: d.start})
+	return Span{d: d}
+}
+
+// Child begins a span explicitly parented to s, bypassing the
+// observer's open-span stack — the form to use when fanning out to
+// goroutines, where stack-based parenting would interleave.
+func (s Span) Child(name string) Span {
+	if s.d == nil {
+		return Span{}
+	}
+	o := s.d.o
+	if !o.enabled.Load() {
+		return Span{}
+	}
+	d := &spanData{o: o, id: o.nextID.Add(1), parent: s.d.id, name: name, start: o.clock()}
+	o.mu.Lock()
+	sinks := o.sinks
+	o.mu.Unlock()
+	emit(sinks, &Event{Type: EventSpanStart, Name: name, Span: d.id, Parent: d.parent, Time: d.start})
+	return Span{d: d}
+}
+
+// SetAttr attaches a key/value to the span; it is reported with the
+// span's end event. Values should be JSON-marshalable.
+func (s Span) SetAttr(key string, v any) {
+	if s.d == nil {
+		return
+	}
+	s.d.mu.Lock()
+	if s.d.attrs == nil {
+		s.d.attrs = make(map[string]any, 4)
+	}
+	s.d.attrs[key] = v
+	s.d.mu.Unlock()
+}
+
+// Active reports whether the span is recording.
+func (s Span) Active() bool { return s.d != nil }
+
+// End finishes the span, emitting its duration and attributes.
+// Ending a zero span or ending twice is a no-op.
+func (s Span) End() {
+	d := s.d
+	if d == nil || !d.done.CompareAndSwap(false, true) {
+		return
+	}
+	o := d.o
+	end := o.clock()
+	o.mu.Lock()
+	// Pop from the open-span stack (normally the top; spans ended out
+	// of order are removed in place so siblings re-parent correctly).
+	for i := len(o.stack) - 1; i >= 0; i-- {
+		if o.stack[i] == d.id {
+			o.stack = append(o.stack[:i], o.stack[i+1:]...)
+			break
+		}
+	}
+	sinks := o.sinks
+	o.mu.Unlock()
+	d.mu.Lock()
+	attrs := d.attrs
+	d.mu.Unlock()
+	emit(sinks, &Event{
+		Type: EventSpanEnd, Name: d.name, Span: d.id, Parent: d.parent,
+		Time: end, Dur: end.Sub(d.start), Attrs: attrs,
+	})
+}
+
+func emit(sinks []Sink, e *Event) {
+	for _, s := range sinks {
+		s.Emit(e)
+	}
+}

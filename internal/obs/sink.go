@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventType discriminates trace events.
+type EventType string
+
+// Event types emitted by observers and sessions.
+const (
+	EventSpanStart EventType = "span_start"
+	EventSpanEnd   EventType = "span_end"
+	EventMetrics   EventType = "metrics"
+)
+
+// Event is one trace record. Span events carry the span/parent ids
+// that encode the trace tree; the terminal metrics event carries a
+// registry snapshot.
+type Event struct {
+	Type   EventType      `json:"type"`
+	Name   string         `json:"name,omitempty"`
+	Span   uint64         `json:"span,omitempty"`
+	Parent uint64         `json:"parent,omitempty"`
+	Time   time.Time      `json:"time"`
+	Dur    time.Duration  `json:"dur_ns,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+	Snap   *Snapshot      `json:"metrics,omitempty"`
+}
+
+// Sink receives trace events. Implementations must be safe for
+// concurrent Emit calls.
+type Sink interface {
+	Emit(e *Event)
+	// Flush reports any deferred write error and pushes buffered
+	// output toward its destination.
+	Flush() error
+}
+
+// NopSink discards everything — the explicit form of "no tracing".
+type NopSink struct{}
+
+// Emit discards the event.
+func (NopSink) Emit(*Event) {}
+
+// Flush never fails.
+func (NopSink) Flush() error { return nil }
+
+// JSONLSink writes one JSON object per event, newline-delimited — the
+// -trace file format. Write errors are latched and reported by Flush
+// so hot paths never check errors.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	w   io.Writer
+	err error
+}
+
+// NewJSONLSink wraps w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w), w: w}
+}
+
+// Emit encodes the event as one JSON line.
+func (s *JSONLSink) Emit(e *Event) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(e)
+	}
+	s.mu.Unlock()
+}
+
+// Flush returns the first write error, if any.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// MemorySink collects events in memory — for tests and interactive
+// inspection.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends a copy of the event.
+func (s *MemorySink) Emit(e *Event) {
+	s.mu.Lock()
+	s.events = append(s.events, *e)
+	s.mu.Unlock()
+}
+
+// Flush never fails.
+func (s *MemorySink) Flush() error { return nil }
+
+// Events returns a snapshot copy of the collected events.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}

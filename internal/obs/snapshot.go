@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Snapshot is a registry's state at one instant, serialisable as JSON
+// or Prometheus text exposition format.
+type Snapshot struct {
+	Time       time.Time            `json:"time"`
+	Counters   map[string]int64     `json:"counters,omitempty"`
+	Gauges     map[string]float64   `json:"gauges,omitempty"`
+	Histograms map[string]HistStats `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() *Snapshot {
+	cs, gs, hs := r.names()
+	s := &Snapshot{Time: time.Now()}
+	if len(cs) > 0 {
+		s.Counters = make(map[string]int64, len(cs))
+		for _, n := range cs {
+			s.Counters[n] = r.Counter(n).Value()
+		}
+	}
+	if len(gs) > 0 {
+		s.Gauges = make(map[string]float64, len(gs))
+		for _, n := range gs {
+			s.Gauges[n] = r.Gauge(n).Value()
+		}
+	}
+	if len(hs) > 0 {
+		s.Histograms = make(map[string]HistStats, len(hs))
+		for _, n := range hs {
+			s.Histograms[n] = r.Histogram(n).Stats()
+		}
+	}
+	return s
+}
+
+// promName maps a dotted metric name to Prometheus conventions:
+// "table.lookup_hits" → "clockrlc_table_lookup_hits".
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("clockrlc_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sortedKeys returns the map's keys in sorted order (snapshot maps
+// are small; determinism matters more than speed here).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// WriteText writes the snapshot in Prometheus text exposition format
+// (counters and gauges as themselves; histograms as _count/_sum/_min/
+// _max/_mean gauges).
+func (s *Snapshot) WriteText(w io.Writer) error {
+	for _, n := range sortedKeys(s.Counters) {
+		p := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedKeys(s.Gauges) {
+		p := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", p, p, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedKeys(s.Histograms) {
+		p := promName(n)
+		h := s.Histograms[n]
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s_count %d\n%s_sum %g\n%s_min %g\n%s_max %g\n%s_mean %g\n",
+			p, p, h.Count, p, h.Sum, p, h.Min, p, h.Max, p, h.Mean); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the snapshot as one JSON object.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the default registry under the expvar key
+// "clockrlc" (visible at /debug/vars when an HTTP server with the
+// default mux is running, e.g. a CLI's -pprof listener). Safe to call
+// more than once.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("clockrlc", expvar.Func(func() any {
+			return defaultRegistry.Snapshot()
+		}))
+	})
+}

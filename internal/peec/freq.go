@@ -3,8 +3,16 @@ package peec
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"clockrlc/internal/linalg"
+	"clockrlc/internal/obs"
+)
+
+// Skin-effect solve accounting (one EffectiveRL per self-table entry).
+var (
+	effectiveRLCalls = obs.GetCounter("peec.effective_rl_calls")
+	effectiveRLNs    = obs.GetCounter("peec.effective_rl_ns")
 )
 
 // RL holds a frequency-dependent effective series resistance and
@@ -29,6 +37,8 @@ type RL struct {
 // filaments, so the DC limit is returned directly: R = ρl/(wt) and
 // L = mean of the filament Lp matrix.
 func EffectiveRL(b Bar, rho, f float64, nw, nt int) (RL, error) {
+	effectiveRLCalls.Inc()
+	defer obs.SinceNs(effectiveRLNs, time.Now())
 	if err := b.Validate(); err != nil {
 		return RL{}, err
 	}

@@ -3,8 +3,14 @@ package peec
 import (
 	"math"
 
+	"clockrlc/internal/obs"
 	"clockrlc/internal/units"
 )
+
+// mutualCalls counts Hoer–Love kernel evaluations (self inductances
+// included — a self is the kernel applied to coincident bars). One
+// atomic add per call, negligible next to the 64 hlF evaluations.
+var mutualCalls = obs.GetCounter("peec.mutual_calls")
 
 // hlF is the sixth-order antiderivative of 1/r appearing in the
 // Hoer–Love closed-form volume integral for the mutual inductance of
@@ -99,6 +105,7 @@ func hlSum(ex, lx1, lx2, ey, wy1, wy2, ez, tz1, tz2 float64) float64 {
 // couple). When a and b describe the same volume the result is the
 // bar's partial self inductance.
 func HoerLoveMutual(a, b Bar) float64 {
+	mutualCalls.Inc()
 	if a.Axis != b.Axis {
 		return 0
 	}

@@ -1,7 +1,19 @@
 package peec
 
 import (
+	"time"
+
 	"clockrlc/internal/linalg"
+	"clockrlc/internal/obs"
+)
+
+// Partial-inductance engine accounting: matrix assemblies and the
+// wall time they absorb (the dominant cost of table builds and
+// whole-tree solves).
+var (
+	matrixBuilds = obs.GetCounter("peec.matrix_builds")
+	matrixNs     = obs.GetCounter("peec.matrix_ns")
+	matrixBars   = obs.GetHistogram("peec.matrix_bars")
 )
 
 // PartialMatrix computes the full partial inductance matrix Lp (H) of
@@ -11,6 +23,9 @@ import (
 // exactly zero. The matrix is symmetric by reciprocity and the
 // implementation computes only the upper triangle.
 func PartialMatrix(bars []Bar) *linalg.Matrix {
+	matrixBuilds.Inc()
+	matrixBars.Observe(float64(len(bars)))
+	defer obs.SinceNs(matrixNs, time.Now())
 	n := len(bars)
 	m := linalg.NewMatrix(n, n)
 	for i := 0; i < n; i++ {

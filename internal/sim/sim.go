@@ -9,9 +9,25 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"clockrlc/internal/linalg"
 	"clockrlc/internal/netlist"
+	"clockrlc/internal/obs"
+)
+
+// Transient-simulator accounting. Counters are bumped once per run
+// (never inside the step loop) so the unobserved hot path is
+// untouched; the histograms record per-run shape (system dimension,
+// step count, timestep) for profiling the MNA workload.
+var (
+	simTransients = obs.GetCounter("sim.transients")
+	simSteps      = obs.GetCounter("sim.steps")
+	simFactors    = obs.GetCounter("sim.factorizations")
+	simNs         = obs.GetCounter("sim.transient_ns")
+	simDimHist    = obs.GetHistogram("sim.dim")
+	simStepsHist  = obs.GetHistogram("sim.steps_per_run")
+	simStepHist   = obs.GetHistogram("sim.timestep_seconds")
 )
 
 // mna holds the assembled descriptor system G·x + C·ẋ = b(t) where x
@@ -146,10 +162,17 @@ func Transient(nl *netlist.Netlist, h, tstop float64, probes []string) (*Result,
 	if h <= 0 || tstop <= 0 || tstop < h {
 		return nil, fmt.Errorf("sim: bad time grid (h=%g, tstop=%g)", h, tstop)
 	}
+	sp := obs.Start("sim.transient")
+	defer sp.End()
+	simTransients.Inc()
+	simStepHist.Observe(h)
+	defer obs.SinceNs(simNs, time.Now())
 	m, err := assemble(nl)
 	if err != nil {
 		return nil, err
 	}
+	sp.SetAttr("dim", m.dim)
+	simDimHist.Observe(float64(m.dim))
 	for _, p := range probes {
 		if p == netlist.Ground || p == "gnd" {
 			continue
@@ -163,6 +186,7 @@ func Transient(nl *netlist.Netlist, h, tstop float64, probes []string) (*Result,
 	b0 := make([]float64, m.dim)
 	m.rhs(0, b0)
 	gf, err := linalg.Factor(m.g)
+	simFactors.Inc()
 	if err != nil {
 		return nil, fmt.Errorf("sim: DC operating point is singular (floating node or inductor loop): %w", err)
 	}
@@ -178,11 +202,16 @@ func Transient(nl *netlist.Netlist, h, tstop float64, probes []string) (*Result,
 		a.Data[i] += s * v
 	}
 	af, err := linalg.Factor(a)
+	simFactors.Inc()
 	if err != nil {
 		return nil, fmt.Errorf("sim: transient matrix singular: %w", err)
 	}
 
 	steps := int(tstop/h + 0.5)
+	// Bulk-add once per run; nothing observes inside the step loop.
+	simSteps.Add(int64(steps))
+	simStepsHist.Observe(float64(steps))
+	sp.SetAttr("steps", steps)
 	res := &Result{
 		Time:   make([]float64, 0, steps+1),
 		Probes: make(map[string][]float64, len(probes)),

@@ -9,7 +9,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"clockrlc/internal/obs"
 )
+
+// gridEvals counts tensor-product interpolations (4 per composed
+// loop-inductance lookup). A single atomic add — negligible next to
+// the recursive line interpolation an Eval performs.
+var gridEvals = obs.GetCounter("spline.evals")
 
 // Spline1D is a natural cubic spline through strictly increasing
 // abscissae.
@@ -169,6 +176,7 @@ func (g *Grid) offset(idx []int) int {
 // through values each obtained by recursive interpolation over the
 // remaining axes. Singleton axes pass their value through.
 func (g *Grid) Eval(coords ...float64) (float64, error) {
+	gridEvals.Inc()
 	if len(coords) != len(g.Axes) {
 		return 0, fmt.Errorf("spline: %d coordinates for %d axes", len(coords), len(g.Axes))
 	}

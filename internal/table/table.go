@@ -17,13 +17,35 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"clockrlc/internal/geom"
 	"clockrlc/internal/loop"
+	"clockrlc/internal/obs"
 	"clockrlc/internal/peec"
 	"clockrlc/internal/spline"
 	"clockrlc/internal/units"
 )
+
+// Table accounting. Builds report their engine-solve counts and wall
+// time; lookups distinguish in-range interpolations (lookup_hits)
+// from queries outside the table axes (lookup_clamped), which the
+// splines extrapolate linearly — accurate only mildly beyond the grid,
+// so a nonzero clamp count is worth surfacing to the user.
+var (
+	tablesBuilt   = obs.GetCounter("table.builds")
+	tableBuildNs  = obs.GetCounter("table.build_ns")
+	tableSolves   = obs.GetCounter("table.solver_calls")
+	tableSelfEnts = obs.GetCounter("table.self_entries")
+	tableMutEnts  = obs.GetCounter("table.mutual_entries")
+	lookupHits    = obs.GetCounter("table.lookup_hits")
+	lookupClamped = obs.GetCounter("table.lookup_clamped")
+	buildTimeHist = obs.GetHistogram("table.build_seconds")
+)
+
+// ClampedLookups returns the process-wide count of table lookups that
+// fell outside the built axes and were linearly extrapolated.
+func ClampedLookups() int64 { return lookupClamped.Value() }
 
 // Config identifies the extraction context a table set is built for.
 type Config struct {
@@ -150,8 +172,15 @@ type Set struct {
 // Build sweeps the numerical engine over the axes and assembles the
 // spline tables. Self entries come from 1-trace solves, mutual
 // entries from 2-trace solves, each with the configuration's plane(s)
-// when shielded.
+// when shielded. Tracing goes to the default observer; use
+// BuildObserved to direct it elsewhere.
 func Build(cfg Config, axes Axes) (*Set, error) {
+	return BuildObserved(cfg, axes, nil)
+}
+
+// BuildObserved is Build tracing to the given observer (nil selects
+// the default observer).
+func BuildObserved(cfg Config, axes Axes, o *obs.Observer) (*Set, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -159,6 +188,19 @@ func Build(cfg Config, axes Axes) (*Set, error) {
 	if err := axes.Validate(); err != nil {
 		return nil, err
 	}
+	if o == nil {
+		o = obs.Default()
+	}
+	sp := o.Start("table.build")
+	sp.SetAttr("name", cfg.Name)
+	defer sp.End()
+	t0 := time.Now()
+	defer func() {
+		tablesBuilt.Inc()
+		d := time.Since(t0)
+		tableBuildNs.Add(d.Nanoseconds())
+		buildTimeHist.Observe(d.Seconds())
+	}()
 	s := &Set{Config: cfg, Axes: axes}
 
 	selfVals := make([]float64, len(axes.Widths)*len(axes.Lengths))
@@ -173,11 +215,13 @@ func Build(cfg Config, axes Axes) (*Set, error) {
 			k++
 		}
 	}
+	tableSelfEnts.Add(int64(len(selfVals)))
 	var err error
 	s.Self, err = spline.NewGrid([][]float64{axes.Widths, axes.Lengths}, selfVals)
 	if err != nil {
 		return nil, err
 	}
+	sp.SetAttr("self_entries", len(selfVals))
 
 	nm := len(axes.Widths) * len(axes.Widths) * len(axes.Spacings) * len(axes.Lengths)
 	mutVals := make([]float64, nm)
@@ -202,6 +246,8 @@ func Build(cfg Config, axes Axes) (*Set, error) {
 			}
 		}
 	}
+	tableMutEnts.Add(int64(nm))
+	sp.SetAttr("mutual_entries", nm)
 	s.Mutual, err = spline.NewGrid(
 		[][]float64{axes.Widths, axes.Widths, axes.Spacings, axes.Lengths}, mutVals)
 	if err != nil {
@@ -223,6 +269,7 @@ func Build(cfg Config, axes Axes) (*Set, error) {
 
 // selfEntry extracts one self-table value.
 func selfEntry(cfg Config, w, l float64) (float64, error) {
+	tableSolves.Inc()
 	if cfg.Shielding == geom.ShieldNone {
 		rl, err := peec.EffectiveRL(
 			peec.Bar{Axis: peec.AxisX, O: [3]float64{0, -w / 2, 0}, L: l, W: w, T: cfg.Thickness},
@@ -242,6 +289,7 @@ func selfEntry(cfg Config, w, l float64) (float64, error) {
 
 // mutualEntry extracts one mutual-table value.
 func mutualEntry(cfg Config, w1, w2, sp, l float64) (float64, error) {
+	tableSolves.Inc()
 	if cfg.Shielding == geom.ShieldNone {
 		a := peec.Bar{Axis: peec.AxisX, O: [3]float64{0, 0, 0}, L: l, W: w1, T: cfg.Thickness}
 		b := peec.Bar{Axis: peec.AxisX, O: [3]float64{0, w1 + sp, 0}, L: l, W: w2, T: cfg.Thickness}
@@ -316,12 +364,29 @@ func twoTraceBlock(cfg Config, w1, w2, sp, l float64) *geom.Block {
 	}
 }
 
+// inRange reports whether v lies within the axis' built sweep.
+func inRange(ax []float64, v float64) bool {
+	return v >= ax[0] && v <= ax[len(ax)-1]
+}
+
+// countLookup classifies a lookup: fully inside every axis range
+// counts as a hit; any out-of-range coordinate counts the lookup as
+// clamped (the spline extrapolates its end slope linearly there).
+func countLookup(ok bool) {
+	if ok {
+		lookupHits.Inc()
+	} else {
+		lookupClamped.Inc()
+	}
+}
+
 // SelfL looks up (interpolating, mildly extrapolating) the self
 // inductance for a trace of width w and length l.
 func (s *Set) SelfL(w, l float64) (float64, error) {
 	if w <= 0 || l <= 0 {
 		return 0, fmt.Errorf("table: SelfL arguments must be positive (w=%g, l=%g)", w, l)
 	}
+	countLookup(inRange(s.Axes.Widths, w) && inRange(s.Axes.Lengths, l))
 	return s.Self.Eval(w, l)
 }
 
@@ -331,5 +396,7 @@ func (s *Set) MutualL(w1, w2, sp, l float64) (float64, error) {
 	if w1 <= 0 || w2 <= 0 || sp <= 0 || l <= 0 {
 		return 0, fmt.Errorf("table: MutualL arguments must be positive (w1=%g, w2=%g, s=%g, l=%g)", w1, w2, sp, l)
 	}
+	countLookup(inRange(s.Axes.Widths, w1) && inRange(s.Axes.Widths, w2) &&
+		inRange(s.Axes.Spacings, sp) && inRange(s.Axes.Lengths, l))
 	return s.Mutual.Eval(w1, w2, sp, l)
 }

@@ -333,3 +333,46 @@ func TestGridDensityAblation(t *testing.T) {
 		t.Errorf("medium-density worst error %g, want < 1%%", medium)
 	}
 }
+
+func TestLookupClampCounting(t *testing.T) {
+	set, err := Build(freeConfig(), smallAxes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax := smallAxes()
+	hits0 := lookupHits.Value()
+	clamped0 := lookupClamped.Value()
+
+	// In-range lookups count as hits only.
+	if _, err := set.SelfL(units.Um(2), units.Um(500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.MutualL(units.Um(2), units.Um(2), units.Um(1), units.Um(500)); err != nil {
+		t.Fatal(err)
+	}
+	if got := lookupHits.Value() - hits0; got != 2 {
+		t.Errorf("in-range lookups: hits += %d, want 2", got)
+	}
+	if got := lookupClamped.Value() - clamped0; got != 0 {
+		t.Errorf("in-range lookups: clamped += %d, want 0", got)
+	}
+
+	// A width beyond the axis and a spacing beyond the axis both count
+	// as clamped (the spline extrapolates linearly there).
+	hits0, clamped0 = lookupHits.Value(), lookupClamped.Value()
+	if _, err := set.SelfL(2*ax.Widths[len(ax.Widths)-1], units.Um(500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.MutualL(units.Um(2), units.Um(2), 3*ax.Spacings[len(ax.Spacings)-1], units.Um(500)); err != nil {
+		t.Fatal(err)
+	}
+	if got := lookupClamped.Value() - clamped0; got != 2 {
+		t.Errorf("out-of-range lookups: clamped += %d, want 2", got)
+	}
+	if got := lookupHits.Value() - hits0; got != 0 {
+		t.Errorf("out-of-range lookups: hits += %d, want 0", got)
+	}
+	if ClampedLookups() != lookupClamped.Value() {
+		t.Errorf("ClampedLookups() = %d, counter = %d", ClampedLookups(), lookupClamped.Value())
+	}
+}

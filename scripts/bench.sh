@@ -1,0 +1,26 @@
+#!/bin/sh
+# Short hot-path benchmark pass: times one table-composed loop lookup
+# and one full segment extraction with the default (disabled) observer,
+# and writes the ns/op numbers to BENCH_obs.json. These are the paths
+# the instrumentation layer must not slow down (ISSUE: <= 2% ns/op).
+set -eu
+
+cd "$(dirname "$0")/.."
+out=BENCH_obs.json
+
+raw=$(go test -run '^$' -bench 'BenchmarkE10(TableLookup|SegmentRLC)$' -benchtime 2s .)
+echo "$raw"
+
+echo "$raw" | awk '
+/^BenchmarkE10TableLookup/ { lookup = $3 }
+/^BenchmarkE10SegmentRLC/  { segrlc = $3 }
+END {
+  if (lookup == "" || segrlc == "") {
+    print "bench.sh: missing benchmark output" > "/dev/stderr"
+    exit 1
+  }
+  printf "{\n  \"table_lookup_ns_per_op\": %s,\n  \"segment_rlc_ns_per_op\": %s\n}\n", lookup, segrlc
+}' >"$out"
+
+echo "wrote $out:"
+cat "$out"
