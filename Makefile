@@ -25,9 +25,10 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$'
 
 # bench-obs runs the short hot-path pass guarding the instrumentation
-# layer's no-overhead requirement and writes BENCH_obs.json.
+# layer's no-overhead requirement and writes BENCH_obs.json plus the
+# spline-lookup/parallel-build numbers in BENCH_spline.json.
 bench-obs:
 	./scripts/bench.sh
 
 clean:
-	rm -f BENCH_obs.json
+	rm -f BENCH_obs.json BENCH_spline.json

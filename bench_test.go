@@ -7,6 +7,7 @@
 package clockrlc_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -217,6 +218,39 @@ func BenchmarkTableBuild(b *testing.B) {
 		if _, err := table.Build(cfg, axes); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTableBuildWorkers times the same Section III build serially
+// and with the full worker pool; the ratio is the build-parallelism
+// speedup recorded in BENCH_spline.json.
+func BenchmarkTableBuildWorkers(b *testing.B) {
+	axes := table.Axes{
+		Widths:   table.LogAxis(units.Um(1), units.Um(14), 5),
+		Spacings: table.LogAxis(units.Um(0.5), units.Um(22), 6),
+		Lengths:  table.LogAxis(units.Um(50), units.Um(8000), 8),
+	}
+	for _, w := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1}, {"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(w.name, func(b *testing.B) {
+			cfg := table.Config{
+				Name:      "bench/" + w.name,
+				Thickness: units.Um(2),
+				Rho:       units.RhoCopper,
+				Shielding: geom.ShieldNone,
+				Frequency: paper.Fsig,
+				Workers:   w.workers,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := table.Build(cfg, axes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"clockrlc/internal/cliobs"
@@ -45,6 +47,7 @@ func main() {
 		lmin      = flag.Float64("lmin", 50, "minimum length (µm)")
 		lmax      = flag.Float64("lmax", 8000, "maximum length (µm)")
 		nl        = flag.Int("nl", 8, "length points")
+		workers   = flag.Int("workers", 0, "build worker pool size (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -54,7 +57,7 @@ func main() {
 		os.Exit(1)
 	}
 	err = run(*out, *name, *thickness, *rhoName, *shield, *planeGap, *planeT,
-		*tr, *wmin, *wmax, *nw, *smin, *smax, *ns, *lmin, *lmax, *nl)
+		*tr, *wmin, *wmax, *nw, *smin, *smax, *ns, *lmin, *lmax, *nl, *workers)
 	sess.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tablegen:", err)
@@ -64,7 +67,7 @@ func main() {
 
 func run(out, name string, thickness float64, rhoName, shield string,
 	planeGap, planeT, tr, wmin, wmax float64, nw int, smin, smax float64,
-	ns int, lmin, lmax float64, nl int) error {
+	ns int, lmin, lmax float64, nl, workers int) error {
 	var rho float64
 	switch rhoName {
 	case "cu":
@@ -95,17 +98,50 @@ func run(out, name string, thickness float64, rhoName, shield string,
 		PlaneGap:       units.Um(planeGap),
 		PlaneThickness: units.Um(planeT),
 		Frequency:      units.SignificantFrequency(tr * units.PicoSecond),
+		Workers:        workers,
 	}
 	axes := table.Axes{
 		Widths:   table.LogAxis(units.Um(wmin), units.Um(wmax), nw),
 		Spacings: table.LogAxis(units.Um(smin), units.Um(smax), ns),
 		Lengths:  table.LogAxis(units.Um(lmin), units.Um(lmax), nl),
 	}
-	fmt.Printf("building %s tables at %.2f GHz: %d self entries, %d mutual entries\n",
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Only the upper (w1 <= w2) triangle of the mutual sweep is
+	// solved; the symmetric half is mirrored.
+	totalSolves := int64(nw*nl + nw*(nw+1)/2*ns*nl)
+	fmt.Printf("building %s tables at %.2f GHz: %d self entries, %d mutual entries (%d solves, %d workers)\n",
 		cfg.Name, cfg.Frequency/1e9,
-		nw*nl, nw*nw*ns*nl)
+		nw*nl, nw*nw*ns*nl, totalSolves, workers)
 	start := time.Now()
+
+	// Progress: the sweep reports through the process-wide solver-call
+	// counter, polled off the build goroutines.
+	solves := obs.GetCounter("table.solver_calls")
+	solves0 := solves.Value()
+	done := make(chan struct{})
+	var progressWG sync.WaitGroup
+	progressWG.Add(1)
+	go func() {
+		defer progressWG.Done()
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				did := solves.Value() - solves0
+				fmt.Fprintf(os.Stderr, "  %d/%d solves (%.0f%%), %v elapsed\n",
+					did, totalSolves, 100*float64(did)/float64(totalSolves),
+					time.Since(start).Round(time.Second))
+			}
+		}
+	}()
 	set, err := table.Build(cfg, axes)
+	close(done)
+	progressWG.Wait()
 	if err != nil {
 		return err
 	}
@@ -116,13 +152,13 @@ func run(out, name string, thickness float64, rhoName, shield string,
 
 	// Summarise the build's work from the instrumentation counters.
 	builds := obs.GetCounter("table.builds").Value()
-	solves := obs.GetCounter("table.solver_calls").Value()
+	solveCalls := solves.Value()
 	buildNs := obs.GetCounter("table.build_ns").Value()
 	perTable := time.Duration(0)
 	if builds > 0 {
 		perTable = time.Duration(buildNs / builds).Round(time.Millisecond)
 	}
 	fmt.Printf("metrics: %d table set(s) built, %d field-solver calls, %v per table set\n",
-		builds, solves, perTable)
+		builds, solveCalls, perTable)
 	return nil
 }

@@ -10,7 +10,7 @@ import (
 func TestRunBuildsLoadableTables(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "set.json")
 	err := run(out, "m6", 2, "cu", "coplanar", 2, 1,
-		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3)
+		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,11 +29,11 @@ func TestRunBuildsLoadableTables(t *testing.T) {
 func TestRunRejectsBadFlags(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "set.json")
 	if err := run(out, "m6", 2, "unobtainium", "coplanar", 2, 1,
-		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3); err == nil {
+		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 1); err == nil {
 		t.Error("accepted unknown metal")
 	}
 	if err := run(out, "m6", 2, "cu", "waveguide", 2, 1,
-		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3); err == nil {
+		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 1); err == nil {
 		t.Error("accepted unknown shielding")
 	}
 }

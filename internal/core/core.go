@@ -312,14 +312,31 @@ func (e *Extractor) SegmentRLC(s Segment) (netlist.SegmentRLC, error) {
 }
 
 // SegmentRCOnly extracts the same segment without inductance — the
-// baseline netlist the paper compares against (Fig. 2 vs Fig. 3).
+// baseline netlist the paper compares against (Fig. 2 vs Fig. 3). R
+// and C are extracted directly; the four table lookups of the loop
+// composition are skipped entirely rather than computed and
+// discarded.
 func (e *Extractor) SegmentRCOnly(s Segment) (netlist.SegmentRLC, error) {
-	rlc, err := e.SegmentRLC(s)
+	if err := s.Validate(); err != nil {
+		return netlist.SegmentRLC{}, err
+	}
+	sp := e.observer().Start("core.extract_rc")
+	defer sp.End()
+	sp.SetAttr("length", s.Length)
+	segmentsExtracted.Inc()
+	r, err := resist.ACSkinArea(s.Length, s.SignalWidth, e.Tech.Thickness, e.Tech.Rho, e.Frequency)
 	if err != nil {
 		return netlist.SegmentRLC{}, err
 	}
-	rlc.L = 0
-	return rlc, nil
+	c, err := e.SegmentCap(s)
+	if err != nil {
+		return netlist.SegmentRLC{}, err
+	}
+	out := netlist.SegmentRLC{R: r, C: c}
+	if err := out.Validate(); err != nil {
+		return netlist.SegmentRLC{}, fmt.Errorf("core: extracted values unphysical: %w", err)
+	}
+	return out, nil
 }
 
 // SegmentCap returns the signal trace's total capacitance (area +

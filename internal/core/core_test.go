@@ -6,6 +6,7 @@ import (
 
 	"clockrlc/internal/geom"
 	"clockrlc/internal/netlist"
+	"clockrlc/internal/obs"
 	"clockrlc/internal/sim"
 	"clockrlc/internal/table"
 	"clockrlc/internal/units"
@@ -137,6 +138,60 @@ func TestSegmentRLCFig1Magnitudes(t *testing.T) {
 	}
 	if rc.L != 0 || rc.R != rlc.R || rc.C != rlc.C {
 		t.Errorf("SegmentRCOnly = %+v, want L=0 with same R, C", rc)
+	}
+}
+
+// SegmentRCOnly must not touch the inductance tables at all: R and C
+// are extracted directly, so no spline evaluation and no loop
+// composition may occur.
+func TestSegmentRCOnlySkipsTableLookups(t *testing.T) {
+	e := newTestExtractor(t, []geom.Shielding{geom.ShieldNone})
+	evals0 := obs.GetCounter("spline.evals").Value()
+	comps0 := obs.GetCounter("core.loop_compositions").Value()
+	rc, err := e.SegmentRCOnly(fig1Segment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.L != 0 || rc.R <= 0 || rc.C <= 0 {
+		t.Errorf("SegmentRCOnly = %+v, want L=0, R>0, C>0", rc)
+	}
+	if got := obs.GetCounter("spline.evals").Value() - evals0; got != 0 {
+		t.Errorf("RC-only extraction performed %d spline evals, want 0", got)
+	}
+	if got := obs.GetCounter("core.loop_compositions").Value() - comps0; got != 0 {
+		t.Errorf("RC-only extraction composed loop L %d times, want 0", got)
+	}
+}
+
+// Segments inside the documented DefaultAxes sweep (widths 0.6–20 µm,
+// spacings 0.6–10 µm, lengths 50–8000 µm) must never clamp: the
+// spacing axis is tabulated out to the worst-case ground-to-ground
+// lookup 2·s + w = 40 µm, so every lookup of an in-range segment —
+// including the derived one — interpolates.
+func TestDefaultAxesInRangeSegmentsZeroClamps(t *testing.T) {
+	ax := table.DefaultAxes()
+	e, err := NewExtractor(testTech(), fsig, ax, []geom.Shielding{geom.ShieldNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	widths := []float64{ax.Widths[0], units.Um(5), ax.Widths[len(ax.Widths)-1]}
+	spacings := []float64{units.Um(0.6), units.Um(3), units.Um(10)} // the user sweep
+	lengths := []float64{ax.Lengths[0], units.Um(1000), ax.Lengths[len(ax.Lengths)-1]}
+	clamped0 := table.ClampedLookups()
+	for _, w := range widths {
+		for _, gw := range widths {
+			for _, s := range spacings {
+				for _, l := range lengths {
+					seg := Segment{Length: l, SignalWidth: w, GroundWidth: gw, Spacing: s}
+					if _, err := e.LoopL(seg); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	if got := table.ClampedLookups() - clamped0; got != 0 {
+		t.Errorf("in-range segments produced %d clamped lookups, want 0", got)
 	}
 }
 

@@ -3,19 +3,30 @@
 // rectilinear grids — the "bi-cubic spline algorithm [10]" the paper
 // uses to interpolate and extrapolate its inductance tables (the
 // reference is Numerical Recipes' spline/splint/splin2 family).
+//
+// Grid interpolation is fully precomputed: construction solves, per
+// axis, the natural-spline tridiagonal system for every unit data
+// vector, storing the dense matrix that maps a line of tabulated
+// values to that line's second derivatives. Because spline
+// construction is linear in the data, the recursive
+// interpolate-then-respline scheme collapses into one cardinal-weight
+// contraction per axis, and Eval becomes a pure read of immutable
+// state: lookups are goroutine-safe by construction and allocate
+// nothing for table-sized grids.
 package spline
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"clockrlc/internal/obs"
 )
 
 // gridEvals counts tensor-product interpolations (4 per composed
 // loop-inductance lookup). A single atomic add — negligible next to
-// the recursive line interpolation an Eval performs.
+// the weight contraction an Eval performs.
 var gridEvals = obs.GetCounter("spline.evals")
 
 // Spline1D is a natural cubic spline through strictly increasing
@@ -103,6 +114,12 @@ func (s *Spline1D) slopeAt(i int) float64 {
 // Grid is an N-dimensional rectilinear table with tensor-product
 // cubic-spline interpolation: exactly the bicubic scheme for two axes,
 // generalised to the four axes of the mutual-inductance table.
+//
+// Concurrency contract: Eval reads only state fixed at construction
+// (the coefficient matrices depend on the axes alone), so any number
+// of goroutines may Eval one Grid concurrently. Set writes a value in
+// place and must not race with Eval; treat values as immutable once a
+// grid is shared.
 type Grid struct {
 	// Axes holds the strictly increasing coordinates of each
 	// dimension. Axes of length 1 are allowed and treated as constant.
@@ -111,15 +128,25 @@ type Grid struct {
 	// axis varying fastest; len(Vals) = Π len(Axes[d]).
 	Vals []float64
 
-	// inner caches the splines along the last axis (one per line of
-	// leading indices): by far the most numerous spline constructions
-	// during an Eval, so caching them makes repeated lookups cheap.
-	// Set invalidates the cache.
-	inner      []*Spline1D
-	innerStale bool
+	// coef[d] is the len(Axes[d])×len(Axes[d]) row-major matrix
+	// taking a line of values along axis d to that line's natural
+	// cubic-spline second derivatives (nil for singleton axes).
+	// Computed once at construction from the axes alone.
+	coef [][]float64
+	// scratchLen is the per-Eval scratch requirement: one packed
+	// weight vector per axis plus the contraction buffer.
+	scratchLen int
+	// pool recycles scratch for grids too large for the stack buffer.
+	pool *sync.Pool
 }
 
-// NewGrid validates and wraps a table.
+// evalStackScratch is the scratch size (in float64s) an Eval keeps on
+// the stack; larger grids fall back to a per-grid sync.Pool. The
+// default mutual table (6×6×5×8) needs well under half of this.
+const evalStackScratch = 512
+
+// NewGrid validates a table and precomputes its per-axis spline
+// coefficient matrices.
 func NewGrid(axes [][]float64, vals []float64) (*Grid, error) {
 	if len(axes) == 0 {
 		return nil, errors.New("spline: grid needs at least one axis")
@@ -139,7 +166,46 @@ func NewGrid(axes [][]float64, vals []float64) (*Grid, error) {
 	if len(vals) != size {
 		return nil, fmt.Errorf("spline: grid needs %d values, got %d", size, len(vals))
 	}
-	return &Grid{Axes: axes, Vals: vals, innerStale: true}, nil
+	g := &Grid{Axes: axes, Vals: vals, coef: make([][]float64, len(axes))}
+	wsum := 0
+	for d, ax := range axes {
+		wsum += len(ax)
+		if len(ax) > 1 {
+			g.coef[d] = secondDerivMatrix(ax)
+		}
+	}
+	g.scratchLen = wsum + size/len(axes[len(axes)-1])
+	if g.scratchLen > evalStackScratch {
+		n := g.scratchLen
+		g.pool = &sync.Pool{New: func() any {
+			s := make([]float64, n)
+			return &s
+		}}
+	}
+	return g, nil
+}
+
+// secondDerivMatrix returns the dense row-major matrix M with
+// M[i][j] = second derivative at knot i of the natural cubic spline
+// through the unit data vector e_j — i.e. y2 = M·y for any data y,
+// by linearity of the tridiagonal construction.
+func secondDerivMatrix(xs []float64) []float64 {
+	n := len(xs)
+	m := make([]float64, n*n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		s, err := New1D(xs, e)
+		if err != nil {
+			// Axes were validated by the caller.
+			panic(err)
+		}
+		for i := 0; i < n; i++ {
+			m[i*n+j] = s.y2[i]
+		}
+		e[j] = 0
+	}
+	return m
 }
 
 // Dim returns the number of axes.
@@ -150,11 +216,12 @@ func (g *Grid) At(idx ...int) float64 {
 	return g.Vals[g.offset(idx)]
 }
 
-// Set stores a tabulated value at integer indices and invalidates the
-// interpolation cache.
+// Set stores a tabulated value at integer indices. The interpolation
+// coefficients depend only on the axes, so the new value takes effect
+// on the next Eval with no cache to invalidate. Set must not race
+// with concurrent Eval on the same grid.
 func (g *Grid) Set(v float64, idx ...int) {
 	g.Vals[g.offset(idx)] = v
-	g.innerStale = true
 }
 
 func (g *Grid) offset(idx []int) int {
@@ -172,75 +239,104 @@ func (g *Grid) offset(idx []int) int {
 }
 
 // Eval interpolates the table at the given coordinates using
-// tensor-product natural cubic splines: a spline along the first axis
-// through values each obtained by recursive interpolation over the
-// remaining axes. Singleton axes pass their value through.
+// tensor-product natural cubic splines. The recursive
+// spline-of-spline interpolant is linear in the tabulated values, so
+// it factors into one cardinal-weight vector per axis (built from the
+// precomputed coefficient matrices) contracted against the value
+// block, last axis first. Eval never mutates the grid; see the Grid
+// concurrency contract. Singleton axes pass their value through.
 func (g *Grid) Eval(coords ...float64) (float64, error) {
 	gridEvals.Inc()
 	if len(coords) != len(g.Axes) {
 		return 0, fmt.Errorf("spline: %d coordinates for %d axes", len(coords), len(g.Axes))
 	}
-	return g.eval(coords, 0, len(g.Vals)), nil
+	var stack [evalStackScratch]float64
+	scratch := stack[:]
+	if g.scratchLen > evalStackScratch {
+		p := g.pool.Get().(*[]float64)
+		defer g.pool.Put(p)
+		scratch = *p
+	}
+
+	// Cardinal weights per axis, packed into the scratch head.
+	wOff := 0
+	for d, ax := range g.Axes {
+		axisWeights(ax, g.coef[d], coords[d], scratch[wOff:wOff+len(ax)])
+		wOff += len(ax)
+	}
+
+	// Contract the value block one axis at a time, last (fastest-
+	// varying, unit-stride) axis first. The first pass reads g.Vals
+	// and writes the scratch tail; later passes shrink it in place
+	// (the write index never overtakes the read window).
+	buf := scratch[wOff:]
+	cur := g.Vals
+	curLen := len(g.Vals)
+	for d := len(g.Axes) - 1; d >= 0; d-- {
+		n := len(g.Axes[d])
+		wOff -= n
+		w := scratch[wOff : wOff+n]
+		lines := curLen / n
+		for i := 0; i < lines; i++ {
+			acc := 0.0
+			base := i * n
+			for j := 0; j < n; j++ {
+				acc += w[j] * cur[base+j]
+			}
+			buf[i] = acc
+		}
+		cur = buf
+		curLen = lines
+	}
+	return cur[0], nil
 }
 
-// refreshInner (re)builds the cached last-axis splines.
-func (g *Grid) refreshInner() {
-	last := g.Axes[len(g.Axes)-1]
-	if len(last) == 1 {
-		g.inner = nil
-		g.innerStale = false
+// axisWeights fills w (len(ax) wide) with the cardinal weights of the
+// 1-D natural-spline interpolant on knots ax at coordinate x, so that
+// the interpolated value is Σ_j w[j]·y[j] for any data line y. m is
+// the axis' second-derivative matrix (nil for singleton axes).
+// Outside the knot range the weights realise the same linear
+// end-slope continuation as Spline1D.Eval.
+func axisWeights(ax, m []float64, x float64, w []float64) {
+	n := len(ax)
+	if n == 1 {
+		w[0] = 1
 		return
 	}
-	nLines := len(g.Vals) / len(last)
-	if cap(g.inner) < nLines {
-		g.inner = make([]*Spline1D, nLines)
-	} else {
-		g.inner = g.inner[:nLines]
+	for i := range w {
+		w[i] = 0
 	}
-	for i := 0; i < nLines; i++ {
-		s, err := New1D(last, g.Vals[i*len(last):(i+1)*len(last)])
-		if err != nil {
-			// Axes were validated at construction.
-			panic(err)
+	switch {
+	case x <= ax[0]:
+		h := ax[1] - ax[0]
+		dx := x - ax[0]
+		w[0] = 1 - dx/h
+		w[1] = dx / h
+		f := -dx * h / 6
+		for j := 0; j < n; j++ {
+			w[j] += f * (2*m[j] + m[n+j])
 		}
-		g.inner[i] = s
-	}
-	g.innerStale = false
-}
-
-// eval interpolates the row-major block of g.Vals starting at base
-// with the given size, spanning axes[len(axes)-len(coords):] —
-// implemented by recursing on the first remaining axis. The last axis
-// uses the cached splines.
-func (g *Grid) eval(coords []float64, base, size int) float64 {
-	ax := g.Axes[len(g.Axes)-len(coords)]
-	if len(coords) == 1 {
-		if len(ax) == 1 {
-			return g.Vals[base]
+	case x >= ax[n-1]:
+		h := ax[n-1] - ax[n-2]
+		dx := x - ax[n-1]
+		w[n-1] = 1 + dx/h
+		w[n-2] = -dx / h
+		f := dx * h / 6
+		for j := 0; j < n; j++ {
+			w[j] += f * (m[(n-2)*n+j] + 2*m[(n-1)*n+j])
 		}
-		if g.innerStale {
-			g.refreshInner()
+	default:
+		hi := sort.SearchFloat64s(ax, x)
+		lo := hi - 1
+		h := ax[hi] - ax[lo]
+		a := (ax[hi] - x) / h
+		b := (x - ax[lo]) / h
+		w[lo] = a
+		w[hi] = b
+		ca := (a*a*a - a) * h * h / 6
+		cb := (b*b*b - b) * h * h / 6
+		for j := 0; j < n; j++ {
+			w[j] += ca*m[lo*n+j] + cb*m[hi*n+j]
 		}
-		return g.inner[base/len(ax)].Eval(coords[0])
 	}
-	stride := size / len(ax)
-	line := make([]float64, len(ax))
-	for i := range ax {
-		line[i] = g.eval(coords[1:], base+i*stride, stride)
-	}
-	return eval1D(ax, line, coords[0])
-}
-
-// eval1D interpolates one axis; singleton axes are constant.
-func eval1D(ax, vals []float64, x float64) float64 {
-	if len(ax) == 1 {
-		return vals[0]
-	}
-	s, err := New1D(ax, vals)
-	if err != nil {
-		// Axes are validated at construction; reaching here indicates
-		// a programming error.
-		panic(err)
-	}
-	return s.Eval(x)
 }

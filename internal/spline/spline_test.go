@@ -1,7 +1,9 @@
 package spline
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -238,6 +240,201 @@ func TestGridErrors(t *testing.T) {
 	g, _ := NewGrid([][]float64{{0, 1}}, []float64{1, 2})
 	if _, err := g.Eval(0.5, 0.5); err == nil {
 		t.Error("accepted wrong coordinate count")
+	}
+}
+
+// referenceEval is the pre-coefficient recursive evaluator the Grid
+// replaced: a spline along the first axis through values each obtained
+// by recursively interpolating the remaining axes with freshly built
+// natural splines. Kept here as the golden reference for the
+// precomputed cardinal-weight contraction.
+func referenceEval(axes [][]float64, vals, coords []float64) float64 {
+	ax := axes[0]
+	if len(axes) == 1 {
+		if len(ax) == 1 {
+			return vals[0]
+		}
+		s, err := New1D(ax, vals)
+		if err != nil {
+			panic(err)
+		}
+		return s.Eval(coords[0])
+	}
+	stride := len(vals) / len(ax)
+	line := make([]float64, len(ax))
+	for i := range ax {
+		line[i] = referenceEval(axes[1:], vals[i*stride:(i+1)*stride], coords[1:])
+	}
+	if len(ax) == 1 {
+		return line[0]
+	}
+	s, err := New1D(ax, line)
+	if err != nil {
+		panic(err)
+	}
+	return s.Eval(coords[0])
+}
+
+// Golden equivalence: on grids shaped like the inductance tables (2-D
+// self over width×length, 4-D mutual over w1×w2×spacing×length, log
+// axes), the precomputed-coefficient Eval must match the recursive
+// reference to 1e-12 relative — on knots, off grid and in the linear
+// extrapolation region of every axis.
+func TestGridMatchesRecursiveReference(t *testing.T) {
+	selfAxes := [][]float64{logspace(0.6e-6, 20e-6, 6), logspace(50e-6, 8000e-6, 8)}
+	mutAxes := [][]float64{
+		logspace(0.6e-6, 20e-6, 6), logspace(0.6e-6, 20e-6, 6),
+		logspace(0.6e-6, 40e-6, 5), logspace(50e-6, 8000e-6, 8),
+	}
+	fill := func(axes [][]float64, f func(c []float64) float64) []float64 {
+		size := 1
+		for _, ax := range axes {
+			size *= len(ax)
+		}
+		vals := make([]float64, size)
+		c := make([]float64, len(axes))
+		for k := 0; k < size; k++ {
+			rem := k
+			for d := len(axes) - 1; d >= 0; d-- {
+				c[d] = axes[d][rem%len(axes[d])]
+				rem /= len(axes[d])
+			}
+			vals[k] = f(c)
+		}
+		return vals
+	}
+	// Smooth log-like shapes of the same character as the tables.
+	selfF := func(c []float64) float64 {
+		w, l := c[0], c[1]
+		return 2e-7 * l * (math.Log(2*l/(w+0.4e-6)) + 0.5)
+	}
+	mutF := func(c []float64) float64 {
+		w1, w2, s, l := c[0], c[1], c[2], c[3]
+		d := s + w1/2 + w2/2
+		return 2e-7 * l * math.Log(1+l/d)
+	}
+	// Probes per axis: a knot, two interior points and both
+	// extrapolation sides.
+	probes := func(ax []float64) []float64 {
+		lo, hi := ax[0], ax[len(ax)-1]
+		return []float64{
+			0.8 * lo, lo, math.Sqrt(ax[0] * ax[1]),
+			math.Sqrt(lo * hi), hi, 1.3 * hi,
+		}
+	}
+	check := func(name string, axes [][]float64, f func(c []float64) float64) {
+		g, err := NewGrid(axes, fill(axes, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec func(d int, c []float64)
+		rec = func(d int, c []float64) {
+			if d == len(axes) {
+				want := referenceEval(axes, g.Vals, c)
+				got, err := g.Eval(c...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rel := math.Abs(got-want) / math.Abs(want); rel > 1e-12 {
+					t.Errorf("%s: Eval(%v) = %g, reference %g (rel %g)", name, c, got, want, rel)
+				}
+				return
+			}
+			for _, x := range probes(axes[d]) {
+				c[d] = x
+				rec(d+1, c)
+			}
+		}
+		rec(0, make([]float64, len(axes)))
+	}
+	check("self", selfAxes, selfF)
+	check("mutual", mutAxes, mutF)
+}
+
+// Mutate-after-Set: with no lazy cache left, a Set must be visible to
+// the very next Eval, exactly at the knot and smoothly off grid.
+func TestGridSetVisibleToEval(t *testing.T) {
+	xs := linspace(0, 4, 5)
+	ys := linspace(0, 3, 4)
+	vals := make([]float64, len(xs)*len(ys))
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	g, err := NewGrid([][]float64{xs, ys}, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := g.Eval(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(before+100, 2, 1)
+	after, err := g.Eval(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(after-(before+100)) > 1e-9 {
+		t.Errorf("Eval at mutated knot = %g, want %g", after, before+100)
+	}
+	// Off-grid neighbourhood must move too (the stale-cache failure
+	// mode was returning the old surface here).
+	off1, _ := g.Eval(1.9, 1.1)
+	g.Set(before, 2, 1)
+	off2, _ := g.Eval(1.9, 1.1)
+	if off1 == off2 {
+		t.Error("off-grid Eval did not react to Set")
+	}
+}
+
+// Concurrent lookups on a shared grid must be race-free (run under
+// -race) and return the same values as a serial pass.
+func TestGridConcurrentEval(t *testing.T) {
+	axes := [][]float64{
+		logspace(1, 20, 6), logspace(1, 20, 6),
+		logspace(1, 40, 5), logspace(50, 8000, 8),
+	}
+	vals := make([]float64, 6*6*5*8)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i)/7) + 2
+	}
+	g, err := NewGrid(axes, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords := make([][4]float64, 64)
+	want := make([]float64, len(coords))
+	for i := range coords {
+		f := float64(i)
+		coords[i] = [4]float64{1 + f/4, 20 - f/5, 1 + f/2, 100 + 100*f}
+		if want[i], err = g.Eval(coords[i][0], coords[i][1], coords[i][2], coords[i][3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for rep := 0; rep < 200; rep++ {
+				i := (seed + rep) % len(coords)
+				got, err := g.Eval(coords[i][0], coords[i][1], coords[i][2], coords[i][3])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != want[i] {
+					errs <- fmt.Errorf("concurrent Eval drift: %g vs %g", got, want[i])
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

@@ -1,0 +1,54 @@
+package table
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(k) for k in [0, n) on up to workers goroutines.
+// Indices are claimed from an atomic cursor, so callers that write
+// results by index get deterministic output regardless of scheduling.
+// The first error stops further work (in-flight items finish) and is
+// returned. workers <= 1 degenerates to a plain serial loop.
+func parallelFor(n, workers int, fn func(k int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for k := 0; k < n; k++ {
+			if err := fn(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		cursor   atomic.Int64
+		failed   atomic.Bool
+		once     sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				k := int(cursor.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				if err := fn(k); err != nil {
+					once.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

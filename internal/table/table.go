@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"clockrlc/internal/geom"
@@ -28,10 +29,12 @@ import (
 )
 
 // Table accounting. Builds report their engine-solve counts and wall
-// time; lookups distinguish in-range interpolations (lookup_hits)
-// from queries outside the table axes (lookup_clamped), which the
-// splines extrapolate linearly — accurate only mildly beyond the grid,
-// so a nonzero clamp count is worth surfacing to the user.
+// time; self_entries and mutual_entries count entries actually solved
+// (the mirrored symmetric half of the mutual table is not re-counted).
+// Lookups distinguish in-range interpolations (lookup_hits) from
+// queries outside the table axes (lookup_clamped), which the splines
+// extrapolate linearly — accurate only mildly beyond the grid, so a
+// nonzero clamp count is worth surfacing to the user.
 var (
 	tablesBuilt   = obs.GetCounter("table.builds")
 	tableBuildNs  = obs.GetCounter("table.build_ns")
@@ -71,6 +74,11 @@ type Config struct {
 	// SubW, SubT subdivide traces for skin effect during table build
 	// (defaults 4 and 2).
 	SubW, SubT int
+	// Workers bounds the build's worker pool; the sweep entries are
+	// independent field solves, so they parallelise embarrassingly.
+	// Zero or negative selects GOMAXPROCS. The built values are
+	// bit-for-bit independent of the worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -150,17 +158,24 @@ func LogAxis(a, b float64, n int) []float64 {
 }
 
 // DefaultAxes returns a sensible sweep for clocktree geometries:
-// widths 0.6–20 µm, spacings 0.6–10 µm, lengths 50–8000 µm.
+// widths 0.6–20 µm, edge-to-edge spacings 0.6–10 µm, lengths
+// 50–8000 µm. The spacing axis is tabulated out to 40 µm — beyond the
+// 10 µm user sweep — because loop composition also looks up the
+// ground-to-ground coupling at 2·spacing + signalWidth, which reaches
+// 40 µm at the sweep corners; tabulating it keeps in-range segments
+// free of extrapolation clamps.
 func DefaultAxes() Axes {
 	return Axes{
 		Widths:   LogAxis(units.Um(0.6), units.Um(20), 6),
-		Spacings: LogAxis(units.Um(0.6), units.Um(10), 5),
+		Spacings: LogAxis(units.Um(0.6), units.Um(40), 6),
 		Lengths:  LogAxis(units.Um(50), units.Um(8000), 8),
 	}
 }
 
 // Set is one built table set: the self and mutual grids plus their
-// provenance.
+// provenance. Set values are immutable after build, and lookups read
+// only precomputed spline coefficients, so SelfL/MutualL are safe to
+// call from any number of goroutines sharing one Set.
 type Set struct {
 	Config Config
 	Axes   Axes
@@ -172,14 +187,18 @@ type Set struct {
 // Build sweeps the numerical engine over the axes and assembles the
 // spline tables. Self entries come from 1-trace solves, mutual
 // entries from 2-trace solves, each with the configuration's plane(s)
-// when shielded. Tracing goes to the default observer; use
-// BuildObserved to direct it elsewhere.
+// when shielded. The sweep runs on a bounded worker pool
+// (cfg.Workers, default GOMAXPROCS); entries are written by index, so
+// the result is bit-for-bit identical to a serial build. Tracing goes
+// to the default observer; use BuildObserved to direct it elsewhere.
 func Build(cfg Config, axes Axes) (*Set, error) {
 	return BuildObserved(cfg, axes, nil)
 }
 
 // BuildObserved is Build tracing to the given observer (nil selects
-// the default observer).
+// the default observer). The build span is touched only from the
+// calling goroutine; workers contribute solely through the atomic
+// metrics counters.
 func BuildObserved(cfg Config, axes Axes, o *obs.Observer) (*Set, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -191,8 +210,13 @@ func BuildObserved(cfg Config, axes Axes, o *obs.Observer) (*Set, error) {
 	if o == nil {
 		o = obs.Default()
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	sp := o.Start("table.build")
 	sp.SetAttr("name", cfg.Name)
+	sp.SetAttr("workers", workers)
 	defer sp.End()
 	t0 := time.Now()
 	defer func() {
@@ -203,66 +227,73 @@ func BuildObserved(cfg Config, axes Axes, o *obs.Observer) (*Set, error) {
 	}()
 	s := &Set{Config: cfg, Axes: axes}
 
-	selfVals := make([]float64, len(axes.Widths)*len(axes.Lengths))
-	k := 0
-	for _, w := range axes.Widths {
-		for _, l := range axes.Lengths {
-			v, err := selfEntry(cfg, w, l)
-			if err != nil {
-				return nil, fmt.Errorf("table: self(w=%g, l=%g): %w", w, l, err)
-			}
-			selfVals[k] = v
-			k++
+	nw, ns, nl := len(axes.Widths), len(axes.Spacings), len(axes.Lengths)
+	selfVals := make([]float64, nw*nl)
+	err := parallelFor(len(selfVals), workers, func(k int) error {
+		w, l := axes.Widths[k/nl], axes.Lengths[k%nl]
+		v, err := selfEntry(cfg, w, l)
+		if err != nil {
+			return fmt.Errorf("table: self(w=%g, l=%g): %w", w, l, err)
 		}
+		selfVals[k] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	tableSelfEnts.Add(int64(len(selfVals)))
-	var err error
 	s.Self, err = spline.NewGrid([][]float64{axes.Widths, axes.Lengths}, selfVals)
 	if err != nil {
 		return nil, err
 	}
 	sp.SetAttr("self_entries", len(selfVals))
 
-	nm := len(axes.Widths) * len(axes.Widths) * len(axes.Spacings) * len(axes.Lengths)
-	mutVals := make([]float64, nm)
-	k = 0
+	// Mutual is symmetric in (w1, w2): solve only the upper triangle
+	// and mirror the transposed entries afterwards.
+	type mutJob struct {
+		w1, w2, sp, l float64
+		idx           int
+	}
+	jobs := make([]mutJob, 0, nw*(nw+1)/2*ns*nl)
 	for i, w1 := range axes.Widths {
-		for j, w2 := range axes.Widths {
-			for _, sp := range axes.Spacings {
-				for _, l := range axes.Lengths {
-					// Mutual is symmetric in (w1, w2); reuse the
-					// transposed entry instead of re-solving.
-					if j < i {
-						k++
-						continue
-					}
-					v, err := mutualEntry(cfg, w1, w2, sp, l)
-					if err != nil {
-						return nil, fmt.Errorf("table: mutual(w1=%g, w2=%g, s=%g, l=%g): %w", w1, w2, sp, l, err)
-					}
-					mutVals[k] = v
-					k++
+		for j := i; j < nw; j++ {
+			w2 := axes.Widths[j]
+			for si, spc := range axes.Spacings {
+				for li, l := range axes.Lengths {
+					jobs = append(jobs, mutJob{w1, w2, spc, l, ((i*nw+j)*ns+si)*nl + li})
 				}
 			}
 		}
 	}
-	tableMutEnts.Add(int64(nm))
-	sp.SetAttr("mutual_entries", nm)
+	mutVals := make([]float64, nw*nw*ns*nl)
+	err = parallelFor(len(jobs), workers, func(k int) error {
+		jb := jobs[k]
+		v, err := mutualEntry(cfg, jb.w1, jb.w2, jb.sp, jb.l)
+		if err != nil {
+			return fmt.Errorf("table: mutual(w1=%g, w2=%g, s=%g, l=%g): %w", jb.w1, jb.w2, jb.sp, jb.l, err)
+		}
+		mutVals[jb.idx] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Only the solved (upper-triangle) entries count as built; the
+	// mirrored half reuses them.
+	tableMutEnts.Add(int64(len(jobs)))
+	sp.SetAttr("mutual_entries", len(mutVals))
+	sp.SetAttr("mutual_solves", len(jobs))
+	for i := 1; i < nw; i++ {
+		for j := 0; j < i; j++ {
+			upper := ((j*nw + i) * ns) * nl
+			lower := ((i*nw + j) * ns) * nl
+			copy(mutVals[lower:lower+ns*nl], mutVals[upper:upper+ns*nl])
+		}
+	}
 	s.Mutual, err = spline.NewGrid(
 		[][]float64{axes.Widths, axes.Widths, axes.Spacings, axes.Lengths}, mutVals)
 	if err != nil {
 		return nil, err
-	}
-	// Mirror the symmetric half.
-	nw := len(axes.Widths)
-	for i := 0; i < nw; i++ {
-		for j := 0; j < i; j++ {
-			for si := range axes.Spacings {
-				for li := range axes.Lengths {
-					s.Mutual.Set(s.Mutual.At(j, i, si, li), i, j, si, li)
-				}
-			}
-		}
 	}
 	return s, nil
 }

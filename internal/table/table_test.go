@@ -2,7 +2,11 @@ package table
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"clockrlc/internal/geom"
@@ -288,7 +292,153 @@ func TestLookupArgumentValidation(t *testing.T) {
 	}
 }
 
-// Ablation (DESIGN.md): interpolation error vs table grid density.
+// Parallel builds must be bit-for-bit identical to serial builds:
+// every entry is an independent solve written by index, so the worker
+// count must not leak into the values.
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	serial := freeConfig()
+	serial.Workers = 1
+	a, err := Build(serial, smallAxes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := freeConfig()
+	parallel.Workers = 8
+	b, err := Build(parallel, smallAxes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range a.Self.Vals {
+		if b.Self.Vals[k] != v {
+			t.Fatalf("self[%d]: serial %g != parallel %g", k, v, b.Self.Vals[k])
+		}
+	}
+	for k, v := range a.Mutual.Vals {
+		if b.Mutual.Vals[k] != v {
+			t.Fatalf("mutual[%d]: serial %g != parallel %g", k, v, b.Mutual.Vals[k])
+		}
+	}
+}
+
+// The mutual_entries counter must reflect entries actually solved —
+// the upper (w1 <= w2) triangle — not the mirrored full table.
+func TestMutualEntriesCountsSolvesOnly(t *testing.T) {
+	ents0 := tableMutEnts.Value()
+	solves0 := tableSolves.Value()
+	axes := smallAxes()
+	if _, err := Build(freeConfig(), axes); err != nil {
+		t.Fatal(err)
+	}
+	nw, ns, nl := len(axes.Widths), len(axes.Spacings), len(axes.Lengths)
+	upper := nw * (nw + 1) / 2 * ns * nl
+	if got := tableMutEnts.Value() - ents0; got != int64(upper) {
+		t.Errorf("mutual_entries += %d, want %d (upper triangle only)", got, upper)
+	}
+	wantSolves := int64(upper + nw*nl)
+	if got := tableSolves.Value() - solves0; got != wantSolves {
+		t.Errorf("solver_calls += %d, want %d", got, wantSolves)
+	}
+}
+
+// A shared Set must serve concurrent lookups race-free (run under
+// -race) and with values identical to a serial pass — the regression
+// test for the lazily mutated spline cache.
+func TestConcurrentLookups(t *testing.T) {
+	set, err := Build(freeConfig(), smallAxes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type probe struct {
+		self        bool
+		w, w2, s, l float64
+	}
+	probes := make([]probe, 48)
+	want := make([]float64, len(probes))
+	for i := range probes {
+		f := float64(i)
+		if i%2 == 0 {
+			probes[i] = probe{self: true, w: units.Um(1 + f/8), l: units.Um(150 + 100*f)}
+			want[i], err = set.SelfL(probes[i].w, probes[i].l)
+		} else {
+			probes[i] = probe{w: units.Um(1 + f/10), w2: units.Um(11 - f/10), s: units.Um(1 + f/16), l: units.Um(200 + 90*f)}
+			want[i], err = set.MutualL(probes[i].w, probes[i].w2, probes[i].s, probes[i].l)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for rep := 0; rep < 150; rep++ {
+				i := (seed*31 + rep) % len(probes)
+				p := probes[i]
+				var got float64
+				var err error
+				if p.self {
+					got, err = set.SelfL(p.w, p.l)
+				} else {
+					got, err = set.MutualL(p.w, p.w2, p.s, p.l)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != want[i] {
+					errs <- fmt.Errorf("concurrent lookup drift at probe %d: %g vs %g", i, got, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		const n = 137
+		var hits [n]atomic.Int32
+		if err := parallelFor(n, workers, func(k int) error {
+			hits[k].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for k := range hits {
+			if got := hits[k].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, k, got)
+			}
+		}
+	}
+}
+
+func TestParallelForPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := parallelFor(1000, 4, func(k int) error {
+		ran.Add(1)
+		if k == 17 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// The failure must stop the sweep well short of completion.
+	if got := ran.Load(); got == 1000 {
+		t.Error("error did not cancel remaining work")
+	}
+}
+
 // Denser axes must monotonically shrink the worst off-grid error, and
 // the default-ish density must sit below 1 %.
 func TestGridDensityAblation(t *testing.T) {

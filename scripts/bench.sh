@@ -24,3 +24,31 @@ END {
 
 echo "wrote $out:"
 cat "$out"
+
+# Spline/table-build pass: the precomputed-coefficient lookup path and
+# the serial-vs-parallel build sweep, written to BENCH_spline.json.
+spline_out=BENCH_spline.json
+
+build_raw=$(go test -run '^$' -bench 'BenchmarkTableBuildWorkers/(serial|parallel)$' -benchtime 3x -count 3 .)
+echo "$build_raw"
+
+# build_speedup compares the best serial and best parallel build; it is
+# only meaningful alongside cpu_cores — on a single-core host the
+# parallel build resolves to the serial path and the ratio is ~1.
+cores=$(getconf _NPROCESSORS_ONLN)
+
+{ echo "$raw"; echo "$build_raw"; } | awk -v cores="$cores" '
+/^BenchmarkE10TableLookup/ { lookup = $3 }
+/^BenchmarkE10SegmentRLC/  { segrlc = $3 }
+/BenchmarkTableBuildWorkers\/serial/   { if (serial == 0 || $3 < serial) serial = $3 }
+/BenchmarkTableBuildWorkers\/parallel/ { if (par == 0 || $3 < par) par = $3 }
+END {
+  if (lookup == "" || segrlc == "" || serial == 0 || par == 0) {
+    print "bench.sh: missing spline benchmark output" > "/dev/stderr"
+    exit 1
+  }
+  printf "{\n  \"table_lookup_ns_per_op\": %s,\n  \"segment_rlc_ns_per_op\": %s,\n  \"build_serial_ns_per_op\": %d,\n  \"build_parallel_ns_per_op\": %d,\n  \"build_speedup\": %.2f,\n  \"cpu_cores\": %d\n}\n", lookup, segrlc, serial, par, serial / par, cores
+}' >"$spline_out"
+
+echo "wrote $spline_out:"
+cat "$spline_out"
