@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all tier1 vet build test race bench bench-obs clean
+.PHONY: all tier1 vet build test race roundtrip bench bench-obs clean
 
 all: tier1
 
 # tier1 is the repository's gating check: vet, build, full test suite
-# under the race detector.
-tier1: vet build race
+# under the race detector, plus the persistence round-trip gate.
+tier1: vet build race roundtrip
 
 vet:
 	$(GO) vet ./...
@@ -20,15 +20,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# roundtrip gates the table codec: tablegen → save → load → compare
+# bit for bit against an in-memory build, plus the cache/codec
+# persistence suites.
+roundtrip:
+	$(GO) test -run 'RoundTrip|Cache|Load|SaveFile' ./cmd/tablegen ./internal/table
+
 # bench runs the full experiment benchmark suite (slow).
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$'
 
 # bench-obs runs the short hot-path pass guarding the instrumentation
 # layer's no-overhead requirement and writes BENCH_obs.json plus the
-# spline-lookup/parallel-build numbers in BENCH_spline.json.
+# spline-lookup/parallel-build numbers in BENCH_spline.json and the
+# cold-vs-cache-hit extractor construction numbers in BENCH_cache.json.
 bench-obs:
 	./scripts/bench.sh
 
 clean:
-	rm -f BENCH_obs.json BENCH_spline.json
+	rm -f BENCH_obs.json BENCH_spline.json BENCH_cache.json

@@ -356,3 +356,67 @@ func BenchmarkE14SkewVariation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkExtractorCache times ready-extractor construction cold (a
+// full field-solver sweep) vs against a warm content-addressed table
+// cache (zero solver calls, lookups bit-identical). The ratio is the
+// "solve once, look up forever" speedup scripts/bench.sh records in
+// BENCH_cache.json. A batch of segments is extracted through each
+// extractor so the batch path's throughput counters move too.
+func BenchmarkExtractorCache(b *testing.B) {
+	tech := core.Technology{
+		Thickness:      units.Um(2),
+		Rho:            units.RhoCopper,
+		EpsRel:         units.EpsSiO2,
+		CapHeight:      units.Um(2),
+		PlaneGap:       units.Um(2),
+		PlaneThickness: units.Um(1),
+	}
+	axes := table.Axes{
+		Widths:   table.LogAxis(units.Um(1), units.Um(14), 4),
+		Spacings: table.LogAxis(units.Um(0.5), units.Um(22), 4),
+		Lengths:  table.LogAxis(units.Um(50), units.Um(8000), 5),
+	}
+	shieldings := []geom.Shielding{geom.ShieldNone}
+	segs := make([]core.Segment, 32)
+	for i := range segs {
+		segs[i] = core.Segment{
+			Length:      units.Um(500 + 100*float64(i)),
+			SignalWidth: units.Um(4),
+			GroundWidth: units.Um(4),
+			Spacing:     units.Um(2),
+			Shielding:   geom.ShieldNone,
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e, err := core.NewExtractor(tech, paper.Fsig, axes, shieldings)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.SegmentsRLC(segs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache, err := table.NewCache(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Prime the cache outside the timed region.
+		if _, err := core.NewExtractor(tech, paper.Fsig, axes, shieldings, core.WithTableCache(cache)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, err := core.NewExtractor(tech, paper.Fsig, axes, shieldings, core.WithTableCache(cache))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.SegmentsRLC(segs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -419,6 +419,30 @@ func BusNoise(e *Extractor, s BusSpec, aggressors []int, probeVictim int) (*BusR
 	return bus.Noise(e, s, aggressors, probeVictim)
 }
 
+// TableCache is a content-addressed on-disk store of built table
+// sets: a stable hash of (TableConfig, TableAxes, codec version)
+// addresses each entry, writes are atomic, and concurrent extractions
+// across processes can share one pre-built artifact. A cache hit
+// constructs a ready extractor with zero field-solver calls.
+type TableCache = table.Cache
+
+// NewTableCache opens (creating if needed) a table cache rooted at dir.
+func NewTableCache(dir string) (*TableCache, error) { return table.NewCache(dir) }
+
+// WithTableCache makes NewExtractor consult the cache before running
+// any field-solver sweep and write newly built sets back.
+func WithTableCache(c *TableCache) ExtractorOption { return core.WithTableCache(c) }
+
+// TableCacheKey returns the content address the cache files a build
+// of (cfg, axes) under.
+func TableCacheKey(cfg TableConfig, axes TableAxes) (string, error) {
+	return table.CacheKey(cfg, axes)
+}
+
+// ExtractionBatch fans segment extraction across a bounded worker
+// pool; Extractor.SegmentsRLC is the GOMAXPROCS-wide shorthand.
+type ExtractionBatch = core.Batch
+
 // TableLibrary manages one technology's table sets (one per layer and
 // shielding configuration) with directory persistence.
 type TableLibrary = table.Library

@@ -38,6 +38,7 @@ func main() {
 		capHeight = flag.Float64("caph", 2, "height over the capacitive reference (µm)")
 		tr        = flag.Float64("tr", 50, "minimum rise time (ps)")
 		tablePath = flag.String("tables", "", "pre-built table file (tablegen output)")
+		cacheDir  = flag.String("cache", "", "content-addressed table cache directory (reused across runs)")
 		doNetlist = flag.Bool("netlist", false, "print the RLC ladder netlist")
 		sections  = flag.Int("sections", 8, "ladder sections for -netlist")
 	)
@@ -48,7 +49,7 @@ func main() {
 		os.Exit(1)
 	}
 	err = run(*length, *wsig, *wgnd, *space, *shield, *thickness, *capHeight,
-		*tr, *tablePath, *doNetlist, *sections)
+		*tr, *tablePath, *cacheDir, *doNetlist, *sections)
 	sess.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rlcx:", err)
@@ -57,7 +58,7 @@ func main() {
 }
 
 func run(length, wsig, wgnd, space float64, shield string, thickness, capHeight,
-	tr float64, tablePath string, doNetlist bool, sections int) error {
+	tr float64, tablePath, cacheDir string, doNetlist bool, sections int) error {
 	var sh geom.Shielding
 	switch shield {
 	case "coplanar":
@@ -86,8 +87,17 @@ func run(length, wsig, wgnd, space float64, shield string, thickness, capHeight,
 		}
 		ext, err = core.NewExtractorFromTables(tech, freq, set)
 	} else {
-		fmt.Fprintf(os.Stderr, "building %s tables at %.2f GHz...\n", shield, freq/1e9)
-		ext, err = core.NewExtractor(tech, freq, table.DefaultAxes(), []geom.Shielding{sh})
+		var opts []core.Option
+		if cacheDir != "" {
+			cache, cerr := table.NewCache(cacheDir)
+			if cerr != nil {
+				return cerr
+			}
+			opts = append(opts, core.WithTableCache(cache))
+		} else {
+			fmt.Fprintf(os.Stderr, "building %s tables at %.2f GHz...\n", shield, freq/1e9)
+		}
+		ext, err = core.NewExtractor(tech, freq, table.DefaultAxes(), []geom.Shielding{sh}, opts...)
 	}
 	if err != nil {
 		return err

@@ -48,6 +48,7 @@ func main() {
 		lmax      = flag.Float64("lmax", 8000, "maximum length (µm)")
 		nl        = flag.Int("nl", 8, "length points")
 		workers   = flag.Int("workers", 0, "build worker pool size (0 = all cores)")
+		cacheDir  = flag.String("cache", "", "content-addressed table cache directory (reused across runs)")
 	)
 	flag.Parse()
 
@@ -57,7 +58,7 @@ func main() {
 		os.Exit(1)
 	}
 	err = run(*out, *name, *thickness, *rhoName, *shield, *planeGap, *planeT,
-		*tr, *wmin, *wmax, *nw, *smin, *smax, *ns, *lmin, *lmax, *nl, *workers)
+		*tr, *wmin, *wmax, *nw, *smin, *smax, *ns, *lmin, *lmax, *nl, *workers, *cacheDir)
 	sess.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tablegen:", err)
@@ -67,7 +68,7 @@ func main() {
 
 func run(out, name string, thickness float64, rhoName, shield string,
 	planeGap, planeT, tr, wmin, wmax float64, nw int, smin, smax float64,
-	ns int, lmin, lmax float64, nl, workers int) error {
+	ns int, lmin, lmax float64, nl, workers int, cacheDir string) error {
 	var rho float64
 	switch rhoName {
 	case "cu":
@@ -139,7 +140,27 @@ func run(out, name string, thickness float64, rhoName, shield string,
 			}
 		}
 	}()
-	set, err := table.Build(cfg, axes)
+	var set *table.Set
+	var err error
+	if cacheDir != "" {
+		// Consult the content-addressed cache before sweeping; a hit
+		// costs zero solver calls and is bit-identical to a cold build.
+		cache, cerr := table.NewCache(cacheDir)
+		if cerr != nil {
+			close(done)
+			progressWG.Wait()
+			return cerr
+		}
+		hits0, _, _, _ := table.CacheStats()
+		set, err = cache.GetOrBuild(cfg, axes, nil)
+		if hits, _, _, _ := table.CacheStats(); err == nil && hits > hits0 {
+			key, _ := table.CacheKey(cfg, axes)
+			fmt.Printf("cache hit in %s (key %.12s…): reused the stored sweep, zero solver calls\n",
+				cacheDir, key)
+		}
+	} else {
+		set, err = table.Build(cfg, axes)
+	}
 	close(done)
 	progressWG.Wait()
 	if err != nil {

@@ -4,13 +4,16 @@ import (
 	"path/filepath"
 	"testing"
 
+	"clockrlc/internal/geom"
+	"clockrlc/internal/obs"
 	"clockrlc/internal/table"
+	"clockrlc/internal/units"
 )
 
 func TestRunBuildsLoadableTables(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "set.json")
 	err := run(out, "m6", 2, "cu", "coplanar", 2, 1,
-		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 2)
+		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 2, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,14 +29,111 @@ func TestRunBuildsLoadableTables(t *testing.T) {
 	}
 }
 
+// The tier-1 round-trip gate: tablegen → save → load → compare
+// against an in-memory build of the same sweep, bit for bit. Any
+// lossy codec change (float formatting, reordered values, dropped
+// config) fails here before it can poison a production library.
+func TestRoundTripBitForBit(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "set.json")
+	if err := run(out, "m6", 2, "cu", "coplanar", 2, 1,
+		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 2, ""); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := table.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the identical sweep in memory (builds are deterministic
+	// at any worker count).
+	cfg := table.Config{
+		Name:      "m6/coplanar",
+		Thickness: units.Um(2),
+		Rho:       units.RhoCopper,
+		Shielding: geom.ShieldNone,
+		Frequency: units.SignificantFrequency(50 * units.PicoSecond),
+	}
+	axes := table.Axes{
+		Widths:   table.LogAxis(units.Um(1), units.Um(4), 2),
+		Spacings: table.LogAxis(units.Um(1), units.Um(2), 2),
+		Lengths:  table.LogAxis(units.Um(100), units.Um(1000), 3),
+	}
+	built, err := table.Build(cfg, axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Self.Vals) != len(built.Self.Vals) || len(loaded.Mutual.Vals) != len(built.Mutual.Vals) {
+		t.Fatalf("value counts drifted: self %d/%d, mutual %d/%d",
+			len(loaded.Self.Vals), len(built.Self.Vals), len(loaded.Mutual.Vals), len(built.Mutual.Vals))
+	}
+	for k, v := range built.Self.Vals {
+		if loaded.Self.Vals[k] != v {
+			t.Fatalf("self[%d]: loaded %g != built %g", k, loaded.Self.Vals[k], v)
+		}
+	}
+	for k, v := range built.Mutual.Vals {
+		if loaded.Mutual.Vals[k] != v {
+			t.Fatalf("mutual[%d]: loaded %g != built %g", k, loaded.Mutual.Vals[k], v)
+		}
+	}
+	// Off-grid lookups interpolate through the same coefficients.
+	a, err1 := built.SelfL(units.Um(1.7), units.Um(430))
+	b, err2 := loaded.SelfL(units.Um(1.7), units.Um(430))
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if a != b {
+		t.Errorf("off-grid lookup drifted through the round trip: %g vs %g", a, b)
+	}
+	m1, _ := built.MutualL(units.Um(1.3), units.Um(1.6), units.Um(1.4), units.Um(700))
+	m2, _ := loaded.MutualL(units.Um(1.3), units.Um(1.6), units.Um(1.4), units.Um(700))
+	if m1 != m2 {
+		t.Errorf("off-grid mutual drifted through the round trip: %g vs %g", m1, m2)
+	}
+}
+
+// Re-running tablegen against a warm cache must sweep nothing: the
+// whole point of the artifact is that the solver runs once, ever.
+func TestRunCacheHitSkipsSolves(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	args := func(out string) error {
+		return run(out, "m6", 2, "cu", "coplanar", 2, 1,
+			50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 1, cacheDir)
+	}
+	if err := args(filepath.Join(dir, "a.json")); err != nil {
+		t.Fatal(err)
+	}
+	solves := obs.GetCounter("table.solver_calls")
+	solves0 := solves.Value()
+	if err := args(filepath.Join(dir, "b.json")); err != nil {
+		t.Fatal(err)
+	}
+	if got := solves.Value() - solves0; got != 0 {
+		t.Errorf("cached rerun performed %d solver calls, want 0", got)
+	}
+	a, err := table.LoadFile(filepath.Join(dir, "a.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := table.LoadFile(filepath.Join(dir, "b.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range a.Self.Vals {
+		if b.Self.Vals[k] != v {
+			t.Fatalf("self[%d]: cold %g != cached %g", k, v, b.Self.Vals[k])
+		}
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "set.json")
 	if err := run(out, "m6", 2, "unobtainium", "coplanar", 2, 1,
-		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 1); err == nil {
+		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 1, ""); err == nil {
 		t.Error("accepted unknown metal")
 	}
 	if err := run(out, "m6", 2, "cu", "waveguide", 2, 1,
-		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 1); err == nil {
+		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 1, ""); err == nil {
 		t.Error("accepted unknown shielding")
 	}
 }

@@ -35,6 +35,7 @@ func main() {
 		rdrv      = flag.Float64("rdrv", 40, "buffer drive resistance (Ω)")
 		cin       = flag.Float64("cin", 50, "buffer input capacitance (fF)")
 		imbalance = flag.Float64("imbalance", 1, "load multiplier on leaf 0")
+		cacheDir  = flag.String("cache", "", "content-addressed table cache directory (reused across runs)")
 	)
 	flag.Parse()
 	sess, err := obsFlags.Start("treesim")
@@ -42,7 +43,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "treesim:", err)
 		os.Exit(1)
 	}
-	err = run(*levels, *span, *wsig, *wgnd, *space, *shield, *tr, *rdrv, *cin, *imbalance)
+	err = run(*levels, *span, *wsig, *wgnd, *space, *shield, *tr, *rdrv, *cin, *imbalance, *cacheDir)
 	sess.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "treesim:", err)
@@ -51,7 +52,7 @@ func main() {
 }
 
 func run(levels int, span, wsig, wgnd, space float64, shield string,
-	tr, rdrv, cin, imbalance float64) error {
+	tr, rdrv, cin, imbalance float64, cacheDir string) error {
 	var sh geom.Shielding
 	switch shield {
 	case "coplanar":
@@ -70,8 +71,17 @@ func run(levels int, span, wsig, wgnd, space float64, shield string,
 		PlaneThickness: units.Um(1),
 	}
 	freq := units.SignificantFrequency(tr * units.PicoSecond)
-	fmt.Fprintf(os.Stderr, "building %s tables at %.2f GHz...\n", shield, freq/1e9)
-	ext, err := core.NewExtractor(tech, freq, table.DefaultAxes(), []geom.Shielding{sh})
+	var opts []core.Option
+	if cacheDir != "" {
+		cache, cerr := table.NewCache(cacheDir)
+		if cerr != nil {
+			return cerr
+		}
+		opts = append(opts, core.WithTableCache(cache))
+	} else {
+		fmt.Fprintf(os.Stderr, "building %s tables at %.2f GHz...\n", shield, freq/1e9)
+	}
+	ext, err := core.NewExtractor(tech, freq, table.DefaultAxes(), []geom.Shielding{sh}, opts...)
 	if err != nil {
 		return err
 	}

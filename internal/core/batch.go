@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"clockrlc/internal/netlist"
+	"clockrlc/internal/obs"
+	"clockrlc/internal/table"
+)
+
+// Batch accounting: runs, segments extracted through the batch path,
+// and accumulated wall time (throughput = batch_segments /
+// batch_ns·1e9).
+var (
+	batchRuns     = obs.GetCounter("core.batch_runs")
+	batchSegments = obs.GetCounter("core.batch_segments")
+	batchNs       = obs.GetCounter("core.batch_ns")
+)
+
+// Batch fans segment extraction across a bounded worker pool. A
+// production flow extracts thousands of segments against one shared
+// table set; table lookups are pure reads of precomputed spline
+// coefficients, so the fan-out needs no locking and results are
+// written by index — output order matches input order exactly.
+type Batch struct {
+	// Workers bounds the pool; zero or negative selects GOMAXPROCS.
+	Workers int
+}
+
+// SegmentsRLC extracts every segment concurrently and returns the
+// results in input order. The first failing segment stops further
+// work and is returned, identified by its index. Progress is
+// observable through the core.batch_* counters.
+func (b Batch) SegmentsRLC(e *Extractor, segs []Segment) ([]netlist.SegmentRLC, error) {
+	workers := b.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sp := e.observer().Start("core.batch")
+	sp.SetAttr("segments", len(segs))
+	sp.SetAttr("workers", workers)
+	defer sp.End()
+	t0 := time.Now()
+	defer func() {
+		batchRuns.Inc()
+		batchNs.Add(time.Since(t0).Nanoseconds())
+	}()
+	out := make([]netlist.SegmentRLC, len(segs))
+	err := table.ParallelFor(len(segs), workers, func(k int) error {
+		rlc, err := e.SegmentRLC(segs[k])
+		if err != nil {
+			return fmt.Errorf("core: batch segment %d: %w", k, err)
+		}
+		out[k] = rlc
+		batchSegments.Inc()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SegmentsRLC extracts a batch of segments on a GOMAXPROCS-wide
+// worker pool; see Batch for bounded pools and semantics.
+func (e *Extractor) SegmentsRLC(segs []Segment) ([]netlist.SegmentRLC, error) {
+	return Batch{}.SegmentsRLC(e, segs)
+}

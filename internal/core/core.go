@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"clockrlc/internal/capmodel"
 	"clockrlc/internal/geom"
@@ -91,6 +92,7 @@ type Extractor struct {
 	// runs at.
 	Frequency float64
 	tables    map[geom.Shielding]*table.Set
+	cache     *table.Cache
 	obs       *obs.Observer
 }
 
@@ -102,6 +104,14 @@ type Option func(*Extractor)
 // process-wide default. Metrics counters remain process-wide.
 func WithObserver(o *obs.Observer) Option {
 	return func(e *Extractor) { e.obs = o }
+}
+
+// WithTableCache makes NewExtractor consult the content-addressed
+// on-disk cache before running any field-solver sweep and write newly
+// built sets back. A cache hit constructs a ready extractor with zero
+// solver calls and lookups bit-identical to a cold build.
+func WithTableCache(c *table.Cache) Option {
+	return func(e *Extractor) { e.cache = c }
 }
 
 // observer returns the configured observer, falling back to the
@@ -142,7 +152,13 @@ func NewExtractor(tech Technology, freq float64, axes table.Axes, shieldings []g
 			PlaneThickness: tech.PlaneThickness,
 			Frequency:      freq,
 		}
-		set, err := table.BuildObserved(cfg, axes, e.observer())
+		var set *table.Set
+		var err error
+		if e.cache != nil {
+			set, err = e.cache.GetOrBuild(cfg, axes, e.observer())
+		} else {
+			set, err = table.BuildObserved(cfg, axes, e.observer())
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: building %v tables: %w", sh, err)
 		}
@@ -152,6 +168,10 @@ func NewExtractor(tech Technology, freq float64, axes table.Axes, shieldings []g
 }
 
 // NewExtractorFromTables wraps pre-built (e.g. loaded) table sets.
+// Each shielding configuration may be supplied once, and every set
+// must have been built at the extractor's significant frequency —
+// inductance entries are frequency-dependent, so a library built at
+// the wrong frequency would yield silently wrong loop L.
 func NewExtractorFromTables(tech Technology, freq float64, sets ...*table.Set) (*Extractor, error) {
 	if err := tech.Validate(); err != nil {
 		return nil, err
@@ -161,9 +181,27 @@ func NewExtractorFromTables(tech Technology, freq float64, sets ...*table.Set) (
 	}
 	e := &Extractor{Tech: tech, Frequency: freq, tables: map[geom.Shielding]*table.Set{}}
 	for _, s := range sets {
+		if s == nil {
+			return nil, fmt.Errorf("core: nil table set")
+		}
+		if prev, dup := e.tables[s.Config.Shielding]; dup {
+			return nil, fmt.Errorf("core: duplicate %v table sets (%q and %q); supply each shielding configuration once",
+				s.Config.Shielding, prev.Config.Name, s.Config.Name)
+		}
+		if !sameFrequency(s.Config.Frequency, freq) {
+			return nil, fmt.Errorf("core: table set %q was built at %g Hz but the extractor runs at %g Hz; rebuild the tables at the extractor's significant frequency",
+				s.Config.Name, s.Config.Frequency, freq)
+		}
 		e.tables[s.Config.Shielding] = s
 	}
 	return e, nil
+}
+
+// sameFrequency tolerates only representation-level jitter (1 ppb):
+// table entries vary smoothly with frequency, but a set built at a
+// genuinely different significant frequency must be rejected.
+func sameFrequency(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
 }
 
 // SetObserver routes the extractor's spans to o (nil restores the

@@ -1,0 +1,211 @@
+package table
+
+// Content-addressed on-disk table cache. The paper's economy is
+// "solve once, look up forever" (Section III): the field-solver sweep
+// is the expensive step and every extraction after it is spline
+// lookups. The cache makes that durable across processes: a stable
+// hash of every value-determining input — (Config, Axes, codec format
+// version) — addresses an on-disk store of built sets, so any number
+// of concurrent extractions can share one pre-built artifact, and a
+// rebuilt binary with an incompatible codec simply misses and
+// re-solves rather than loading stale bytes.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"clockrlc/internal/geom"
+	"clockrlc/internal/obs"
+)
+
+// Cache accounting: hits serve a ready set with zero solver calls,
+// misses fall through to Build, corrupt counts entries that existed
+// but failed to load or verify (treated as misses and overwritten by
+// the next Put).
+var (
+	cacheHits    = obs.GetCounter("table.cache_hits")
+	cacheMisses  = obs.GetCounter("table.cache_misses")
+	cacheWrites  = obs.GetCounter("table.cache_writes")
+	cacheCorrupt = obs.GetCounter("table.cache_corrupt")
+)
+
+// cacheKeyRecord pins exactly the fields that participate in the
+// cache key. Config.Name is provenance (a label) and Config.Workers
+// is an execution detail — builds are bit-for-bit deterministic at
+// any worker count — so neither influences the built values and
+// neither is hashed. The codec format version is included so a codec
+// change retires every old entry at once instead of half-reading it.
+// Field order is part of the address: do not reorder without bumping
+// the codec version.
+type cacheKeyRecord struct {
+	FormatVersion  int
+	Thickness      float64
+	Rho            float64
+	Shielding      geom.Shielding
+	PlaneGap       float64
+	PlaneThickness float64
+	Frequency      float64
+	PlaneStrips    int
+	SubW           int
+	SubT           int
+	Widths         []float64
+	Spacings       []float64
+	Lengths        []float64
+}
+
+// CacheKey returns the content address of the table set that (cfg,
+// axes) would build: the hex SHA-256 of the value-determining fields
+// after defaulting. Two configurations that build bit-identical sets
+// hash identically (Name and Workers are excluded); any change to a
+// physical parameter, an axis point, or the codec version changes the
+// key.
+func CacheKey(cfg Config, axes Axes) (string, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	if err := axes.Validate(); err != nil {
+		return "", err
+	}
+	rec := cacheKeyRecord{
+		FormatVersion:  formatVersion,
+		Thickness:      cfg.Thickness,
+		Rho:            cfg.Rho,
+		Shielding:      cfg.Shielding,
+		PlaneGap:       cfg.PlaneGap,
+		PlaneThickness: cfg.PlaneThickness,
+		Frequency:      cfg.Frequency,
+		PlaneStrips:    cfg.PlaneStrips,
+		SubW:           cfg.SubW,
+		SubT:           cfg.SubT,
+		Widths:         axes.Widths,
+		Spacings:       axes.Spacings,
+		Lengths:        axes.Lengths,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return "", fmt.Errorf("table: cache key: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Cache is a content-addressed store of built table sets, one codec
+// file per key, under a single directory. It is safe for concurrent
+// use by any number of processes: entries are immutable once written,
+// writes are atomic (temp file + rename), and racing builders of the
+// same key write bit-identical bytes, so whichever rename lands last
+// changes nothing.
+type Cache struct {
+	dir string
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir.
+func NewCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, errors.New("table: cache needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("table: cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Path returns the on-disk location of a key's entry.
+func (c *Cache) Path(key string) string { return filepath.Join(c.dir, key+".json") }
+
+// Get looks up the set (cfg, axes) addresses. A missing entry is
+// (nil, false, nil); a present entry that fails to load, fails its
+// checksum, or no longer hashes to its own address is counted corrupt
+// and treated as a miss (the next Put atomically replaces it). On a
+// hit the stored set is returned with the caller's Name and Workers
+// applied, since those are excluded from the address.
+func (c *Cache) Get(cfg Config, axes Axes) (*Set, bool, error) {
+	key, err := CacheKey(cfg, axes)
+	if err != nil {
+		return nil, false, err
+	}
+	s, err := LoadFile(c.Path(key))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			cacheMisses.Inc()
+			return nil, false, nil
+		}
+		cacheCorrupt.Inc()
+		cacheMisses.Inc()
+		return nil, false, nil
+	}
+	// Content-addressed verification: the entry must hash back to the
+	// address it was found under, or it was written by a different
+	// scheme (or tampered with) and cannot be trusted for this key.
+	storedKey, err := CacheKey(s.Config, s.Axes)
+	if err != nil || storedKey != key {
+		cacheCorrupt.Inc()
+		cacheMisses.Inc()
+		return nil, false, nil
+	}
+	s.Config.Name = cfg.Name
+	s.Config.Workers = cfg.Workers
+	cacheHits.Inc()
+	return s, true, nil
+}
+
+// Put stores a built set under its content address, atomically.
+func (c *Cache) Put(s *Set) error {
+	if s == nil {
+		return errors.New("table: cache: nil set")
+	}
+	key, err := CacheKey(s.Config, s.Axes)
+	if err != nil {
+		return err
+	}
+	if err := s.SaveFile(c.Path(key)); err != nil {
+		return err
+	}
+	cacheWrites.Inc()
+	return nil
+}
+
+// GetOrBuild returns the cached set for (cfg, axes) when present —
+// zero field-solver calls, lookups bit-identical to a cold build —
+// and otherwise builds it (tracing to o, nil selects the default
+// observer) and writes it back for every extraction after this one.
+func (c *Cache) GetOrBuild(cfg Config, axes Axes, o *obs.Observer) (*Set, error) {
+	if o == nil {
+		o = obs.Default()
+	}
+	sp := o.Start("table.cache")
+	sp.SetAttr("name", cfg.Name)
+	defer sp.End()
+	s, ok, err := c.Get(cfg, axes)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		sp.SetAttr("outcome", "hit")
+		return s, nil
+	}
+	sp.SetAttr("outcome", "miss")
+	s, err = BuildObserved(cfg, axes, o)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Put(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// CacheStats reports the process-wide cache counters.
+func CacheStats() (hits, misses, writes, corrupt int64) {
+	return cacheHits.Value(), cacheMisses.Value(), cacheWrites.Value(), cacheCorrupt.Value()
+}

@@ -1,27 +1,62 @@
 package table
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"clockrlc/internal/spline"
 )
 
 // fileFormat is the on-disk JSON schema of a table set. Only the
 // axes and raw values are stored; splines are rebuilt at load time.
+//
+// Version history:
+//
+//	v1 — config, axes, raw values; no integrity information.
+//	v2 — adds Checksum (hex SHA-256 of the record serialised with the
+//	     checksum field empty) so torn or bit-rotted files are caught
+//	     at load instead of poisoning a lookup.
+//
+// Loads accept v1 (the migration path for pre-existing artifacts) and
+// v2; saves always write the current version. Versions newer than
+// this build are rejected rather than guessed at.
 type fileFormat struct {
 	Version    int       `json:"version"`
 	Config     Config    `json:"config"`
 	Axes       Axes      `json:"axes"`
 	SelfVals   []float64 `json:"self"`
 	MutualVals []float64 `json:"mutual"`
+	Checksum   string    `json:"checksum,omitempty"`
 }
 
-const formatVersion = 1
+const (
+	formatVersion   = 2
+	minReadVersion  = 1
+	checksumVersion = 2 // first version carrying a checksum
+)
 
-// Save writes the set as JSON.
+// checksum returns the record's integrity hash: hex SHA-256 over the
+// canonical JSON serialisation with the checksum field itself empty.
+// Go's JSON encoding of float64 is shortest-round-trip, so a decoded
+// record re-serialises to the identical bytes and the check is exact.
+func (ff fileFormat) checksum() (string, error) {
+	ff.Checksum = ""
+	b, err := json.Marshal(ff)
+	if err != nil {
+		return "", fmt.Errorf("checksum: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Save writes the set as JSON in the current format version,
+// including the integrity checksum.
 func (s *Set) Save(w io.Writer) error {
 	ff := fileFormat{
 		Version:    formatVersion,
@@ -30,54 +65,121 @@ func (s *Set) Save(w io.Writer) error {
 		SelfVals:   s.Self.Vals,
 		MutualVals: s.Mutual.Vals,
 	}
+	sum, err := ff.checksum()
+	if err != nil {
+		return fmt.Errorf("table: %w", err)
+	}
+	ff.Checksum = sum
 	enc := json.NewEncoder(w)
 	return enc.Encode(ff)
 }
 
-// SaveFile writes the set to a file path.
+// SaveFile writes the set to a file path atomically: the record is
+// written to a temporary file in the same directory, fsynced, and
+// renamed over the destination, so a crash mid-save can never leave a
+// truncated file under the final name. The directory is fsynced after
+// the rename so the new name itself survives a crash.
 func (s *Set) SaveFile(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("table: %w", err)
+		return fmt.Errorf("table: save %s: %w", path, err)
 	}
-	defer f.Close()
-	if err := s.Save(f); err != nil {
-		return err
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op once renamed
+	if err := s.Save(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("table: save %s: %w", path, err)
 	}
-	return f.Close()
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("table: save %s: sync: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("table: save %s: close: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("table: save %s: %w", path, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // best effort; the data itself is already durable
+		d.Close()
+	}
+	return nil
 }
 
-// Load reads a set previously written by Save, revalidating the axes
-// and rebuilding the interpolants.
-func Load(r io.Reader) (*Set, error) {
+// load decodes and validates a record; errors carry no "table:"
+// prefix so Load and LoadFile can each frame them (LoadFile names the
+// file, per the contract that a bad artifact identifies itself).
+func load(r io.Reader) (*Set, error) {
 	var ff fileFormat
 	if err := json.NewDecoder(r).Decode(&ff); err != nil {
-		return nil, fmt.Errorf("table: decode: %w", err)
+		return nil, fmt.Errorf("decode: %w", err)
 	}
-	if ff.Version != formatVersion {
-		return nil, fmt.Errorf("table: unsupported format version %d (want %d)", ff.Version, formatVersion)
+	switch {
+	case ff.Version < minReadVersion:
+		return nil, fmt.Errorf("bad format version %d (want %d–%d)", ff.Version, minReadVersion, formatVersion)
+	case ff.Version > formatVersion:
+		return nil, fmt.Errorf("format version %d is newer than this build reads (max %d); rebuild the tables or upgrade", ff.Version, formatVersion)
+	}
+	if ff.Version >= checksumVersion {
+		if ff.Checksum == "" {
+			return nil, errors.New("record is missing its checksum")
+		}
+		want, err := ff.checksum()
+		if err != nil {
+			return nil, err
+		}
+		if want != ff.Checksum {
+			return nil, fmt.Errorf("checksum mismatch (file corrupt or truncated): stored %.12s…, computed %.12s…", ff.Checksum, want)
+		}
 	}
 	if err := ff.Axes.Validate(); err != nil {
 		return nil, err
 	}
+	nw, ns, nl := len(ff.Axes.Widths), len(ff.Axes.Spacings), len(ff.Axes.Lengths)
+	if want := nw * nl; len(ff.SelfVals) != want {
+		return nil, fmt.Errorf("self value count %d does not match the axes product %d (%d widths × %d lengths)",
+			len(ff.SelfVals), want, nw, nl)
+	}
+	if want := nw * nw * ns * nl; len(ff.MutualVals) != want {
+		return nil, fmt.Errorf("mutual value count %d does not match the axes product %d (%d² widths × %d spacings × %d lengths)",
+			len(ff.MutualVals), want, nw, ns, nl)
+	}
 	selfGrid, err := spline.NewGrid([][]float64{ff.Axes.Widths, ff.Axes.Lengths}, ff.SelfVals)
 	if err != nil {
-		return nil, fmt.Errorf("table: self grid: %w", err)
+		return nil, fmt.Errorf("self grid: %w", err)
 	}
 	mutGrid, err := spline.NewGrid(
 		[][]float64{ff.Axes.Widths, ff.Axes.Widths, ff.Axes.Spacings, ff.Axes.Lengths}, ff.MutualVals)
 	if err != nil {
-		return nil, fmt.Errorf("table: mutual grid: %w", err)
+		return nil, fmt.Errorf("mutual grid: %w", err)
 	}
 	return &Set{Config: ff.Config, Axes: ff.Axes, Self: selfGrid, Mutual: mutGrid}, nil
 }
 
-// LoadFile reads a set from a file path.
+// Load reads a set previously written by Save, verifying the
+// checksum (v2+) and the value counts against the axes product, and
+// rebuilding the interpolants.
+func Load(r io.Reader) (*Set, error) {
+	s, err := load(r)
+	if err != nil {
+		return nil, fmt.Errorf("table: %w", err)
+	}
+	return s, nil
+}
+
+// LoadFile reads a set from a file path. Every failure names the
+// file, so a bad artifact in a multi-file library is identifiable.
 func LoadFile(path string) (*Set, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("table: %w", err)
 	}
 	defer f.Close()
-	return Load(f)
+	s, err := load(f)
+	if err != nil {
+		return nil, fmt.Errorf("table: %s: %w", path, err)
+	}
+	return s, nil
 }

@@ -60,20 +60,46 @@ func (l *Library) Names() []string {
 // Len reports the set count.
 func (l *Library) Len() int { return len(l.sets) }
 
-// fileName maps a set name ("M6/microstrip") to a safe file name.
+// fileName maps a set name ("M6/microstrip") to a filesystem-safe
+// file name. The mapping is injective: bytes outside [A-Za-z0-9._-]
+// — '%' included — are %XX-escaped, so distinct names ("a/b" vs
+// "a\\b" vs "a_b") can never collapse onto the same file and SaveDir
+// can never silently overwrite one set with another.
 func fileName(name string) string {
-	r := strings.NewReplacer("/", "__", " ", "_", "\\", "__")
-	return r.Replace(name) + ".json"
+	var b strings.Builder
+	b.Grow(len(name) + len(".json"))
+	for i := 0; i < len(name); i++ {
+		switch ch := name[i]; {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z',
+			ch >= '0' && ch <= '9', ch == '.', ch == '-', ch == '_':
+			b.WriteByte(ch)
+		default:
+			fmt.Fprintf(&b, "%%%02X", ch)
+		}
+	}
+	b.WriteString(".json")
+	return b.String()
 }
 
 // SaveDir writes every set to dir (created if needed), one JSON file
-// per set.
+// per set, atomically (see SaveFile). File names are checked for
+// collisions case-insensitively first: the escape above is injective,
+// but a case-insensitive filesystem (macOS, Windows) would still
+// merge names differing only by letter case, so that is rejected up
+// front instead of overwriting silently.
 func (l *Library) SaveDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("table: %w", err)
 	}
+	used := map[string]string{} // folded file name → set name
 	for _, name := range l.Names() {
-		if err := l.sets[name].SaveFile(filepath.Join(dir, fileName(name))); err != nil {
+		fn := fileName(name)
+		folded := strings.ToLower(fn)
+		if prev, dup := used[folded]; dup {
+			return fmt.Errorf("table: set names %q and %q both map to file %q on a case-insensitive filesystem; rename one set", prev, name, fn)
+		}
+		used[folded] = name
+		if err := l.sets[name].SaveFile(filepath.Join(dir, fn)); err != nil {
 			return err
 		}
 	}

@@ -5,12 +5,13 @@ import (
 	"sync/atomic"
 )
 
-// parallelFor runs fn(k) for k in [0, n) on up to workers goroutines.
+// ParallelFor runs fn(k) for k in [0, n) on up to workers goroutines.
 // Indices are claimed from an atomic cursor, so callers that write
 // results by index get deterministic output regardless of scheduling.
 // The first error stops further work (in-flight items finish) and is
-// returned. workers <= 1 degenerates to a plain serial loop.
-func parallelFor(n, workers int, fn func(k int) error) error {
+// returned. workers <= 1 degenerates to a plain serial loop. It is
+// the bounded pool behind table builds and core's batch extraction.
+func ParallelFor(n, workers int, fn func(k int) error) error {
 	if workers > n {
 		workers = n
 	}

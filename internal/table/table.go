@@ -229,7 +229,7 @@ func BuildObserved(cfg Config, axes Axes, o *obs.Observer) (*Set, error) {
 
 	nw, ns, nl := len(axes.Widths), len(axes.Spacings), len(axes.Lengths)
 	selfVals := make([]float64, nw*nl)
-	err := parallelFor(len(selfVals), workers, func(k int) error {
+	err := ParallelFor(len(selfVals), workers, func(k int) error {
 		w, l := axes.Widths[k/nl], axes.Lengths[k%nl]
 		v, err := selfEntry(cfg, w, l)
 		if err != nil {
@@ -266,7 +266,7 @@ func BuildObserved(cfg Config, axes Axes, o *obs.Observer) (*Set, error) {
 		}
 	}
 	mutVals := make([]float64, nw*nw*ns*nl)
-	err = parallelFor(len(jobs), workers, func(k int) error {
+	err = ParallelFor(len(jobs), workers, func(k int) error {
 		jb := jobs[k]
 		v, err := mutualEntry(cfg, jb.w1, jb.w2, jb.sp, jb.l)
 		if err != nil {

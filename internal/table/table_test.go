@@ -406,7 +406,7 @@ func TestParallelForCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{1, 3, 16} {
 		const n = 137
 		var hits [n]atomic.Int32
-		if err := parallelFor(n, workers, func(k int) error {
+		if err := ParallelFor(n, workers, func(k int) error {
 			hits[k].Add(1)
 			return nil
 		}); err != nil {
@@ -423,7 +423,7 @@ func TestParallelForCoversAllIndices(t *testing.T) {
 func TestParallelForPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
 	var ran atomic.Int32
-	err := parallelFor(1000, 4, func(k int) error {
+	err := ParallelFor(1000, 4, func(k int) error {
 		ran.Add(1)
 		if k == 17 {
 			return boom

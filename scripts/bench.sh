@@ -52,3 +52,26 @@ END {
 
 echo "wrote $spline_out:"
 cat "$spline_out"
+
+# Cache pass: ready-extractor construction cold (full solver sweep)
+# vs against a warm content-addressed table cache, written to
+# BENCH_cache.json. The speedup is the paper's "solve once, look up
+# forever" economy made durable across processes.
+cache_out=BENCH_cache.json
+
+cache_raw=$(go test -run '^$' -bench 'BenchmarkExtractorCache/(cold|warm)$' -benchtime 3x -count 3 .)
+echo "$cache_raw"
+
+echo "$cache_raw" | awk '
+/BenchmarkExtractorCache\/cold/ { if (cold == 0 || $3 < cold) cold = $3 }
+/BenchmarkExtractorCache\/warm/ { if (warm == 0 || $3 < warm) warm = $3 }
+END {
+  if (cold == 0 || warm == 0) {
+    print "bench.sh: missing cache benchmark output" > "/dev/stderr"
+    exit 1
+  }
+  printf "{\n  \"extractor_cold_ns_per_op\": %d,\n  \"extractor_cache_hit_ns_per_op\": %d,\n  \"cache_speedup\": %.2f\n}\n", cold, warm, cold / warm
+}' >"$cache_out"
+
+echo "wrote $cache_out:"
+cat "$cache_out"
