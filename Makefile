@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: all tier1 vet build test race roundtrip bench bench-obs clean
+.PHONY: all tier1 vet build test race roundtrip chaos bench bench-obs clean
 
 all: tier1
 
 # tier1 is the repository's gating check: vet, build, full test suite
-# under the race detector, plus the persistence round-trip gate.
-tier1: vet build race roundtrip
+# under the race detector, the persistence round-trip gate, and the
+# fault-injection chaos matrix.
+tier1: vet build race roundtrip chaos
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +27,15 @@ race:
 roundtrip:
 	$(GO) test -run 'RoundTrip|Cache|Load|SaveFile' ./cmd/tablegen ./internal/table
 
+# chaos runs the fault-injection matrix under the race detector:
+# injected errors/latency/panics at every instrumented point, retry
+# exhaustion, cancellation promptness and leak-freedom, cache
+# corruption/degradation, divergence guards, and exit-code mapping.
+chaos:
+	$(GO) test -race -timeout 5m \
+		-run 'Fault|Chaos|Cancel|Panic|Diverge|Retry|Injected|Transient|Degrad|Sign|Exit|NonFinite|Singular|IllCondition|Validation' \
+		./internal/fault ./internal/table ./internal/core ./internal/sim ./internal/linalg ./internal/cliobs
+
 # bench runs the full experiment benchmark suite (slow).
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$'
@@ -38,4 +48,4 @@ bench-obs:
 	./scripts/bench.sh
 
 clean:
-	rm -f BENCH_obs.json BENCH_spline.json BENCH_cache.json
+	rm -f BENCH_obs.json BENCH_spline.json BENCH_cache.json BENCH_fault.json

@@ -39,6 +39,7 @@
 package clockrlc
 
 import (
+	"context"
 	"io"
 
 	"clockrlc/internal/bus"
@@ -148,6 +149,13 @@ func NewExtractor(tech Technology, freq float64, axes TableAxes, shieldings []Sh
 	return core.NewExtractor(tech, freq, axes, shieldings, opts...)
 }
 
+// NewExtractorCtx is NewExtractor honouring cancellation: a cancelled
+// ctx aborts the table sweeps within one cell's solve and returns
+// ctx.Err().
+func NewExtractorCtx(ctx context.Context, tech Technology, freq float64, axes TableAxes, shieldings []Shielding, opts ...ExtractorOption) (*Extractor, error) {
+	return core.NewExtractorCtx(ctx, tech, freq, axes, shieldings, opts...)
+}
+
 // NewExtractorFromTables wraps previously built or loaded tables.
 func NewExtractorFromTables(tech Technology, freq float64, sets ...*TableSet) (*Extractor, error) {
 	return core.NewExtractorFromTables(tech, freq, sets...)
@@ -156,6 +164,11 @@ func NewExtractorFromTables(tech Technology, freq float64, sets ...*TableSet) (*
 // BuildTables precomputes one table set (Section III).
 func BuildTables(cfg TableConfig, axes TableAxes) (*TableSet, error) {
 	return table.Build(cfg, axes)
+}
+
+// BuildTablesCtx is BuildTables with cancellation; see NewExtractorCtx.
+func BuildTablesCtx(ctx context.Context, cfg TableConfig, axes TableAxes) (*TableSet, error) {
+	return table.BuildCtx(ctx, cfg, axes, nil)
 }
 
 // LoadTables reads a table set saved with TableSet.SaveFile.
@@ -226,9 +239,23 @@ type (
 // NewNetlist returns an empty circuit.
 func NewNetlist() *Netlist { return netlist.New() }
 
+// Named failure modes, matchable with errors.Is.
+var (
+	// SimDiverged marks a simulation whose solution went non-finite.
+	SimDiverged = sim.ErrDiverged
+	// BadGeometry marks rejected segment/technology inputs.
+	BadGeometry = core.ErrBadGeometry
+)
+
 // Transient runs the trapezoidal MNA simulation.
 func Transient(nl *Netlist, h, tstop float64, probes []string) (*SimResult, error) {
 	return sim.Transient(nl, h, tstop, probes)
+}
+
+// TransientCtx is Transient honouring cancellation (checked every few
+// steps) and guarding against divergence (SimDiverged).
+func TransientCtx(ctx context.Context, nl *Netlist, h, tstop float64, probes []string) (*SimResult, error) {
+	return sim.TransientCtx(ctx, nl, h, tstop, probes)
 }
 
 // Delay50 measures the 50 %-swing delay between two waveforms.
@@ -369,6 +396,12 @@ func ShieldWidthSweep(e *Extractor, base XtalkScenario, ratios []float64) ([]Shi
 // ACAnalysis performs a small-signal frequency sweep of a netlist.
 func ACAnalysis(nl *Netlist, freqs []float64, acMag map[string]float64, probes []string) (*ACSweepResult, error) {
 	return sim.AC(nl, freqs, acMag, probes)
+}
+
+// ACAnalysisCtx is ACAnalysis honouring cancellation between frequency
+// points.
+func ACAnalysisCtx(ctx context.Context, nl *Netlist, freqs []float64, acMag map[string]float64, probes []string) (*ACSweepResult, error) {
+	return sim.ACCtx(ctx, nl, freqs, acMag, probes)
 }
 
 // ACSweepResult is a small-signal sweep result.

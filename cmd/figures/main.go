@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,20 +30,22 @@ func main() {
 	samples := flag.Int("samples", 60, "Monte-Carlo samples for -exp stat")
 	flag.Parse()
 
+	sd := cliobs.NotifyShutdown()
 	sess, err := obsFlags.Start("figures")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
+		os.Exit(cliobs.ExitFailure)
 	}
-	err = run(*exp, *csv, *samples)
+	err = run(sd.Context(), *exp, *csv, *samples)
 	sess.Close()
+	sd.Stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
+		os.Exit(sd.ExitCode(err))
 	}
 }
 
-func run(exp, csv string, samples int) error {
+func run(ctx context.Context, exp, csv string, samples int) error {
 	needExt := map[string]bool{
 		"all": true, "fig23": true, "skew": true, "tables": true,
 		"shields": true, "stat": true, "shieldrule": true,
@@ -62,6 +65,10 @@ func run(exp, csv string, samples int) error {
 	try := func(name string, f func() error) error {
 		if !all && exp != name {
 			return nil
+		}
+		// A SIGINT between experiments stops the remaining ones cleanly.
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		ran = true
 		fmt.Printf("==== %s ====\n", strings.ToUpper(name))

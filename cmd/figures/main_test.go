@@ -1,22 +1,25 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // The extractor-free experiments run end to end through the CLI glue.
 func TestRunLengthExperiment(t *testing.T) {
-	if err := run("length", "", 0); err != nil {
+	if err := run(context.Background(), "length", "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTable1Experiment(t *testing.T) {
-	if err := run("table1", "", 0); err != nil {
+	if err := run(context.Background(), "table1", "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
-	if err := run("nosuch", "", 0); err == nil {
+	if err := run(context.Background(), "nosuch", "", 0); err == nil {
 		t.Fatal("accepted unknown experiment")
 	}
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -43,21 +44,23 @@ func main() {
 		sections  = flag.Int("sections", 8, "ladder sections for -netlist")
 	)
 	flag.Parse()
+	sd := cliobs.NotifyShutdown()
 	sess, err := obsFlags.Start("rlcx")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rlcx:", err)
-		os.Exit(1)
+		os.Exit(cliobs.ExitFailure)
 	}
-	err = run(*length, *wsig, *wgnd, *space, *shield, *thickness, *capHeight,
+	err = run(sd.Context(), *length, *wsig, *wgnd, *space, *shield, *thickness, *capHeight,
 		*tr, *tablePath, *cacheDir, *doNetlist, *sections)
 	sess.Close()
+	sd.Stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rlcx:", err)
-		os.Exit(1)
+		os.Exit(sd.ExitCode(err))
 	}
 }
 
-func run(length, wsig, wgnd, space float64, shield string, thickness, capHeight,
+func run(ctx context.Context, length, wsig, wgnd, space float64, shield string, thickness, capHeight,
 	tr float64, tablePath, cacheDir string, doNetlist bool, sections int) error {
 	var sh geom.Shielding
 	switch shield {
@@ -97,7 +100,7 @@ func run(length, wsig, wgnd, space float64, shield string, thickness, capHeight,
 		} else {
 			fmt.Fprintf(os.Stderr, "building %s tables at %.2f GHz...\n", shield, freq/1e9)
 		}
-		ext, err = core.NewExtractor(tech, freq, table.DefaultAxes(), []geom.Shielding{sh}, opts...)
+		ext, err = core.NewExtractorCtx(ctx, tech, freq, table.DefaultAxes(), []geom.Shielding{sh}, opts...)
 	}
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -30,13 +31,13 @@ func TestRunWithPrebuiltTables(t *testing.T) {
 	if err := set.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2000, 8, 4, 1, "coplanar", 2, 2, 50, path, "", true, 4); err != nil {
+	if err := run(context.Background(), 2000, 8, 4, 1, "coplanar", 2, 2, 50, path, "", true, 4); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadShield(t *testing.T) {
-	if err := run(2000, 8, 4, 1, "bogus", 2, 2, 50, "", "", false, 4); err == nil {
+	if err := run(context.Background(), 2000, 8, 4, 1, "bogus", 2, 2, 50, "", "", false, 4); err == nil {
 		t.Error("accepted unknown shielding")
 	}
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -52,21 +53,23 @@ func main() {
 	)
 	flag.Parse()
 
+	sd := cliobs.NotifyShutdown()
 	sess, err := obsFlags.Start("tablegen")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tablegen:", err)
-		os.Exit(1)
+		os.Exit(cliobs.ExitFailure)
 	}
-	err = run(*out, *name, *thickness, *rhoName, *shield, *planeGap, *planeT,
+	err = run(sd.Context(), *out, *name, *thickness, *rhoName, *shield, *planeGap, *planeT,
 		*tr, *wmin, *wmax, *nw, *smin, *smax, *ns, *lmin, *lmax, *nl, *workers, *cacheDir)
 	sess.Close()
+	sd.Stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tablegen:", err)
-		os.Exit(1)
+		os.Exit(sd.ExitCode(err))
 	}
 }
 
-func run(out, name string, thickness float64, rhoName, shield string,
+func run(ctx context.Context, out, name string, thickness float64, rhoName, shield string,
 	planeGap, planeT, tr, wmin, wmax float64, nw int, smin, smax float64,
 	ns int, lmin, lmax float64, nl, workers int, cacheDir string) error {
 	var rho float64
@@ -152,14 +155,14 @@ func run(out, name string, thickness float64, rhoName, shield string,
 			return cerr
 		}
 		hits0, _, _, _ := table.CacheStats()
-		set, err = cache.GetOrBuild(cfg, axes, nil)
+		set, err = cache.GetOrBuildCtx(ctx, cfg, axes, nil)
 		if hits, _, _, _ := table.CacheStats(); err == nil && hits > hits0 {
 			key, _ := table.CacheKey(cfg, axes)
 			fmt.Printf("cache hit in %s (key %.12s…): reused the stored sweep, zero solver calls\n",
 				cacheDir, key)
 		}
 	} else {
-		set, err = table.Build(cfg, axes)
+		set, err = table.BuildCtx(ctx, cfg, axes, nil)
 	}
 	close(done)
 	progressWG.Wait()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 
 func TestRunBuildsLoadableTables(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "set.json")
-	err := run(out, "m6", 2, "cu", "coplanar", 2, 1,
+	err := run(context.Background(), out, "m6", 2, "cu", "coplanar", 2, 1,
 		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 2, "")
 	if err != nil {
 		t.Fatal(err)
@@ -35,7 +36,7 @@ func TestRunBuildsLoadableTables(t *testing.T) {
 // config) fails here before it can poison a production library.
 func TestRoundTripBitForBit(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "set.json")
-	if err := run(out, "m6", 2, "cu", "coplanar", 2, 1,
+	if err := run(context.Background(), out, "m6", 2, "cu", "coplanar", 2, 1,
 		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 2, ""); err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestRunCacheHitSkipsSolves(t *testing.T) {
 	dir := t.TempDir()
 	cacheDir := filepath.Join(dir, "cache")
 	args := func(out string) error {
-		return run(out, "m6", 2, "cu", "coplanar", 2, 1,
+		return run(context.Background(), out, "m6", 2, "cu", "coplanar", 2, 1,
 			50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 1, cacheDir)
 	}
 	if err := args(filepath.Join(dir, "a.json")); err != nil {
@@ -128,11 +129,11 @@ func TestRunCacheHitSkipsSolves(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "set.json")
-	if err := run(out, "m6", 2, "unobtainium", "coplanar", 2, 1,
+	if err := run(context.Background(), out, "m6", 2, "unobtainium", "coplanar", 2, 1,
 		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 1, ""); err == nil {
 		t.Error("accepted unknown metal")
 	}
-	if err := run(out, "m6", 2, "cu", "waveguide", 2, 1,
+	if err := run(context.Background(), out, "m6", 2, "cu", "waveguide", 2, 1,
 		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 1, ""); err == nil {
 		t.Error("accepted unknown shielding")
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,20 +39,22 @@ func main() {
 		cacheDir  = flag.String("cache", "", "content-addressed table cache directory (reused across runs)")
 	)
 	flag.Parse()
+	sd := cliobs.NotifyShutdown()
 	sess, err := obsFlags.Start("treesim")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "treesim:", err)
-		os.Exit(1)
+		os.Exit(cliobs.ExitFailure)
 	}
-	err = run(*levels, *span, *wsig, *wgnd, *space, *shield, *tr, *rdrv, *cin, *imbalance, *cacheDir)
+	err = run(sd.Context(), *levels, *span, *wsig, *wgnd, *space, *shield, *tr, *rdrv, *cin, *imbalance, *cacheDir)
 	sess.Close()
+	sd.Stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "treesim:", err)
-		os.Exit(1)
+		os.Exit(sd.ExitCode(err))
 	}
 }
 
-func run(levels int, span, wsig, wgnd, space float64, shield string,
+func run(ctx context.Context, levels int, span, wsig, wgnd, space float64, shield string,
 	tr, rdrv, cin, imbalance float64, cacheDir string) error {
 	var sh geom.Shielding
 	switch shield {
@@ -81,7 +84,7 @@ func run(levels int, span, wsig, wgnd, space float64, shield string,
 	} else {
 		fmt.Fprintf(os.Stderr, "building %s tables at %.2f GHz...\n", shield, freq/1e9)
 	}
-	ext, err := core.NewExtractor(tech, freq, table.DefaultAxes(), []geom.Shielding{sh}, opts...)
+	ext, err := core.NewExtractorCtx(ctx, tech, freq, table.DefaultAxes(), []geom.Shielding{sh}, opts...)
 	if err != nil {
 		return err
 	}
@@ -106,6 +109,9 @@ func run(levels int, span, wsig, wgnd, space float64, shield string,
 		loads[0] = imbalance
 	}
 	for _, withL := range []bool{false, true} {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		arr, err := tree.Arrivals(clocktree.SimOptions{WithL: withL, LeafLoadScale: loads})
 		if err != nil {
 			return err

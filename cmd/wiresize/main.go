@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,20 +37,22 @@ func main() {
 		noL    = flag.Bool("rconly", false, "size with the RC-only netlist")
 	)
 	flag.Parse()
+	sd := cliobs.NotifyShutdown()
 	sess, err := obsFlags.Start("wiresize")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wiresize:", err)
-		os.Exit(1)
+		os.Exit(cliobs.ExitFailure)
 	}
-	err = run(*length, *pitch, *wgnd, *rdrv, *cload, *tr, *wmin, *wmax, *nCand, !*noL)
+	err = run(sd.Context(), *length, *pitch, *wgnd, *rdrv, *cload, *tr, *wmin, *wmax, *nCand, !*noL)
 	sess.Close()
+	sd.Stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wiresize:", err)
-		os.Exit(1)
+		os.Exit(sd.ExitCode(err))
 	}
 }
 
-func run(length, pitch, wgnd, rdrv, cload, tr, wmin, wmax float64, nCand int, withL bool) error {
+func run(ctx context.Context, length, pitch, wgnd, rdrv, cload, tr, wmin, wmax float64, nCand int, withL bool) error {
 	tech := core.Technology{
 		Thickness:      units.Um(2),
 		Rho:            units.RhoCopper,
@@ -65,7 +68,7 @@ func run(length, pitch, wgnd, rdrv, cload, tr, wmin, wmax float64, nCand int, wi
 		Spacings: table.LogAxis(units.Um(0.2), units.Um(pitch*2), 6),
 		Lengths:  table.LogAxis(units.Um(length/8), units.Um(length*1.5), 6),
 	}
-	ext, err := core.NewExtractor(tech, freq, axes, []geom.Shielding{geom.ShieldNone})
+	ext, err := core.NewExtractorCtx(ctx, tech, freq, axes, []geom.Shielding{geom.ShieldNone})
 	if err != nil {
 		return err
 	}
@@ -83,7 +86,7 @@ func run(length, pitch, wgnd, rdrv, cload, tr, wmin, wmax float64, nCand int, wi
 		return fmt.Errorf("need at least 2 candidates")
 	}
 	widths := table.LogAxis(units.Um(wmin), units.Um(wmax), nCand)
-	best, pts, err := sizing.Optimize(ext, spec, widths)
+	best, pts, err := sizing.OptimizeCtx(ctx, ext, spec, widths)
 	if err != nil {
 		return err
 	}

@@ -1,18 +1,21 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunSweepsWidths(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds tables and simulates candidates")
 	}
-	if err := run(2000, 4, 2, 30, 40, 50, 0.8, 2.4, 3, true); err != nil {
+	if err := run(context.Background(), 2000, 4, 2, 30, 40, 50, 0.8, 2.4, 3, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsFewCandidates(t *testing.T) {
-	if err := run(2000, 4, 2, 30, 40, 50, 0.8, 2.4, 1, true); err == nil {
+	if err := run(context.Background(), 2000, 4, 2, 30, 40, 50, 0.8, 2.4, 1, true); err == nil {
 		t.Error("accepted a single candidate")
 	}
 }

@@ -1,0 +1,65 @@
+package cliobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestExitCodeWithoutSignal(t *testing.T) {
+	sd := NotifyShutdown()
+	defer sd.Stop()
+	if got := sd.ExitCode(nil); got != ExitOK {
+		t.Fatalf("nil error: exit %d, want %d", got, ExitOK)
+	}
+	if got := sd.ExitCode(errors.New("boom")); got != ExitFailure {
+		t.Fatalf("failure: exit %d, want %d", got, ExitFailure)
+	}
+	// Cancellation without a signal is still a plain failure — some
+	// library deadline expired, not the operator interrupting.
+	if got := sd.ExitCode(context.Canceled); got != ExitFailure {
+		t.Fatalf("unsignalled cancel: exit %d, want %d", got, ExitFailure)
+	}
+}
+
+func TestSIGINTCancelsAndMapsToExit130(t *testing.T) {
+	sd := NotifyShutdown()
+	defer sd.Stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sd.Context().Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("SIGINT did not cancel the context")
+	}
+	if n := sd.Signaled(); n != int(syscall.SIGINT) {
+		t.Fatalf("Signaled() = %d, want %d", n, syscall.SIGINT)
+	}
+	if got := sd.ExitCode(sd.Context().Err()); got != ExitSIGINT {
+		t.Fatalf("exit %d, want %d", got, ExitSIGINT)
+	}
+	// A cancellation wrapped inside a pipeline error still maps.
+	wrapped := fmt.Errorf("table: sweep aborted: %w", context.Canceled)
+	if got := sd.ExitCode(wrapped); got != ExitSIGINT {
+		t.Fatalf("wrapped cancel: exit %d, want %d", got, ExitSIGINT)
+	}
+	// A genuine failure during a signalled run is still a failure.
+	if got := sd.ExitCode(errors.New("corrupt input")); got != ExitFailure {
+		t.Fatalf("failure during signal: exit %d, want %d", got, ExitFailure)
+	}
+}
+
+func TestStopIsIdempotentAndDisarms(t *testing.T) {
+	sd := NotifyShutdown()
+	sd.Stop()
+	sd.Stop()
+	select {
+	case <-sd.Context().Done():
+	default:
+		t.Fatal("Stop must cancel the context")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -34,6 +35,18 @@ type Batch struct {
 // work and is returned, identified by its index. Progress is
 // observable through the core.batch_* counters.
 func (b Batch) SegmentsRLC(e *Extractor, segs []Segment) ([]netlist.SegmentRLC, error) {
+	return b.SegmentsRLCCtx(context.Background(), e, segs)
+}
+
+// SegmentsRLCCtx is SegmentsRLC honouring cancellation: a cancelled
+// ctx stops new segment claims, drains the in-flight workers (no
+// goroutine outlives the call) and returns ctx.Err() within one
+// segment's extraction time. A panicking segment is isolated to its
+// worker and surfaces as a *table.CellPanic naming the segment index.
+func (b Batch) SegmentsRLCCtx(ctx context.Context, e *Extractor, segs []Segment) ([]netlist.SegmentRLC, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := b.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -48,7 +61,7 @@ func (b Batch) SegmentsRLC(e *Extractor, segs []Segment) ([]netlist.SegmentRLC, 
 		batchNs.Add(time.Since(t0).Nanoseconds())
 	}()
 	out := make([]netlist.SegmentRLC, len(segs))
-	err := table.ParallelFor(len(segs), workers, func(k int) error {
+	err := table.ParallelForCtx(ctx, len(segs), workers, func(k int) error {
 		rlc, err := e.SegmentRLC(segs[k])
 		if err != nil {
 			return fmt.Errorf("core: batch segment %d: %w", k, err)
@@ -67,4 +80,10 @@ func (b Batch) SegmentsRLC(e *Extractor, segs []Segment) ([]netlist.SegmentRLC, 
 // worker pool; see Batch for bounded pools and semantics.
 func (e *Extractor) SegmentsRLC(segs []Segment) ([]netlist.SegmentRLC, error) {
 	return Batch{}.SegmentsRLC(e, segs)
+}
+
+// SegmentsRLCCtx is SegmentsRLC with cancellation; see
+// Batch.SegmentsRLCCtx.
+func (e *Extractor) SegmentsRLCCtx(ctx context.Context, segs []Segment) ([]netlist.SegmentRLC, error) {
+	return Batch{}.SegmentsRLCCtx(ctx, e, segs)
 }

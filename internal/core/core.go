@@ -17,6 +17,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -39,6 +41,26 @@ var (
 	directSolves      = obs.GetCounter("core.direct_solves")
 )
 
+// ErrBadGeometry marks input-validation failures of segment and
+// technology geometry: negative, zero or non-finite dimensions are
+// rejected at the gate with the offending field named, before any of
+// them can reach the field solver and surface later as a cryptic
+// numerical failure (or worse, a silently wrong table entry).
+var ErrBadGeometry = errors.New("core: invalid geometry")
+
+// checkDim validates one named geometric field.
+func checkDim(what, field string, v float64) error {
+	switch {
+	case math.IsNaN(v):
+		return fmt.Errorf("%w: %s %s is NaN", ErrBadGeometry, what, field)
+	case math.IsInf(v, 0):
+		return fmt.Errorf("%w: %s %s is infinite", ErrBadGeometry, what, field)
+	case v <= 0:
+		return fmt.Errorf("%w: %s %s = %g must be positive", ErrBadGeometry, what, field, v)
+	}
+	return nil
+}
+
 // Technology collects the per-layer process quantities extraction
 // needs. All lengths in metres.
 type Technology struct {
@@ -58,10 +80,21 @@ type Technology struct {
 	PlaneGap, PlaneThickness float64
 }
 
-// Validate checks the technology is usable.
+// Validate checks the technology is usable, naming the offending
+// field (NaN included — a NaN slips past plain sign comparisons).
 func (t Technology) Validate() error {
-	if t.Thickness <= 0 || t.Rho <= 0 || t.EpsRel <= 0 || t.CapHeight <= 0 {
-		return fmt.Errorf("core: technology fields must be positive: %+v", t)
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"Thickness", t.Thickness},
+		{"Rho", t.Rho},
+		{"EpsRel", t.EpsRel},
+		{"CapHeight", t.CapHeight},
+	} {
+		if err := checkDim("technology", f.name, f.v); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -76,10 +109,20 @@ type Segment struct {
 	Shielding   geom.Shielding
 }
 
-// Validate checks the segment geometry.
+// Validate checks the segment geometry, naming the offending field.
 func (s Segment) Validate() error {
-	if s.Length <= 0 || s.SignalWidth <= 0 || s.GroundWidth <= 0 || s.Spacing <= 0 {
-		return fmt.Errorf("core: segment dimensions must be positive: %+v", s)
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"Length", s.Length},
+		{"SignalWidth", s.SignalWidth},
+		{"GroundWidth", s.GroundWidth},
+		{"Spacing", s.Spacing},
+	} {
+		if err := checkDim("segment", f.name, f.v); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -127,6 +170,16 @@ func (e *Extractor) observer() *obs.Observer {
 // shielding configurations (nil selects ShieldNone and
 // ShieldMicrostrip) over the given axes and returns a ready extractor.
 func NewExtractor(tech Technology, freq float64, axes table.Axes, shieldings []geom.Shielding, opts ...Option) (*Extractor, error) {
+	return NewExtractorCtx(context.Background(), tech, freq, axes, shieldings, opts...)
+}
+
+// NewExtractorCtx is NewExtractor honouring cancellation through the
+// table builds (and the cache probe when WithTableCache is set): a
+// cancelled ctx drains the sweep workers and returns ctx.Err().
+func NewExtractorCtx(ctx context.Context, tech Technology, freq float64, axes table.Axes, shieldings []geom.Shielding, opts ...Option) (*Extractor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := tech.Validate(); err != nil {
 		return nil, err
 	}
@@ -155,9 +208,9 @@ func NewExtractor(tech Technology, freq float64, axes table.Axes, shieldings []g
 		var set *table.Set
 		var err error
 		if e.cache != nil {
-			set, err = e.cache.GetOrBuild(cfg, axes, e.observer())
+			set, err = e.cache.GetOrBuildCtx(ctx, cfg, axes, e.observer())
 		} else {
-			set, err = table.BuildObserved(cfg, axes, e.observer())
+			set, err = table.BuildCtx(ctx, cfg, axes, e.observer())
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: building %v tables: %w", sh, err)
@@ -326,6 +379,9 @@ func (e *Extractor) Block(s Segment) (*geom.Block, error) {
 // resistance, grounded-total capacitance of the signal trace, and the
 // table-composed loop inductance.
 func (e *Extractor) SegmentRLC(s Segment) (netlist.SegmentRLC, error) {
+	if err := s.Validate(); err != nil {
+		return netlist.SegmentRLC{}, err
+	}
 	sp := e.observer().Start("core.extract")
 	defer sp.End()
 	sp.SetAttr("length", s.Length)

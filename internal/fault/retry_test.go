@@ -1,0 +1,96 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// fastPolicy keeps test wall time negligible.
+var fastPolicy = Policy{Attempts: 4, Base: time.Microsecond, Max: 10 * time.Microsecond, Factor: 2, Jitter: 0.5}
+
+func TestRetrySucceedsAfterTransients(t *testing.T) {
+	calls := 0
+	err := fastPolicy.Do(context.Background(), "op", func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("%w: flaky", ErrTransient)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v after transients, want nil", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn ran %d times, want 3", calls)
+	}
+}
+
+func TestRetryTerminalErrorImmediate(t *testing.T) {
+	terminal := errors.New("corrupt")
+	calls := 0
+	err := fastPolicy.Do(context.Background(), "op", func() error {
+		calls++
+		return terminal
+	})
+	if !errors.Is(err, terminal) || calls != 1 {
+		t.Fatalf("terminal error retried: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryExhaustedWrapsLastError(t *testing.T) {
+	calls := 0
+	err := fastPolicy.Do(context.Background(), "cache.read", func() error {
+		calls++
+		return fmt.Errorf("%w: still down", ErrTransient)
+	})
+	if calls != fastPolicy.Attempts {
+		t.Fatalf("fn ran %d times, want %d", calls, fastPolicy.Attempts)
+	}
+	if err == nil || !errors.Is(err, ErrTransient) {
+		t.Fatalf("exhausted retry returned %v, want wrapped transient", err)
+	}
+}
+
+func TestRetryHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Attempts: 100, Base: time.Hour, Factor: 1}
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(ctx, "op", func() error {
+			return fmt.Errorf("%w: down", ErrTransient)
+		})
+	}()
+	time.Sleep(10 * time.Millisecond) // let it reach the hour-long backoff
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled retry returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled retry did not return promptly")
+	}
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("plain"), false},
+		{fmt.Errorf("%w: x", ErrTransient), true},
+		{fmt.Errorf("open: %w", syscall.EINTR), true},
+		{fmt.Errorf("open: %w", syscall.EAGAIN), true},
+		{context.Canceled, false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

@@ -2,8 +2,19 @@ package linalg
 
 import (
 	"fmt"
+	"math"
 	"math/cmplx"
 )
+
+// checkFiniteC is checkFinite for complex matrices.
+func checkFiniteC(data []complex128, cols int) error {
+	for i, v := range data {
+		if cmplx.IsNaN(v) || cmplx.IsInf(v) {
+			return fmt.Errorf("%w: element (%d,%d) = %v", ErrNonFinite, i/cols, i%cols, v)
+		}
+	}
+	return nil
+}
 
 // CMatrix is a dense row-major complex matrix, used by the
 // frequency-domain PEEC solves (Z = R + jωL).
@@ -66,6 +77,9 @@ func FactorC(a *CMatrix) (*CLU, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("linalg: FactorC needs a square matrix, got %d×%d", a.Rows, a.Cols)
 	}
+	if err := checkFiniteC(a.Data, a.Cols); err != nil {
+		return nil, err
+	}
 	n := a.Rows
 	f := &CLU{n: n, lu: make([]complex128, n*n), piv: make([]int, n)}
 	copy(f.lu, a.Data)
@@ -80,8 +94,11 @@ func FactorC(a *CMatrix) (*CLU, error) {
 				p, max = i, v
 			}
 		}
-		if max == 0 {
+		if max == 0 || math.IsNaN(max) {
 			return nil, ErrSingular
+		}
+		if math.IsInf(max, 0) {
+			return nil, fmt.Errorf("pivot overflow in column %d: %w", k, ErrIllConditioned)
 		}
 		if p != k {
 			rowP := lu[p*n : p*n+n]
@@ -137,6 +154,11 @@ func (f *CLU) Solve(b []complex128) ([]complex128, error) {
 			return nil, ErrSingular
 		}
 		x[i] = s / d
+	}
+	for i, v := range x {
+		if cmplx.IsNaN(v) || cmplx.IsInf(v) {
+			return nil, fmt.Errorf("solution component %d is %v: %w", i, v, ErrIllConditioned)
+		}
 	}
 	return x, nil
 }

@@ -17,6 +17,31 @@ import (
 // numerically singular matrix.
 var ErrSingular = errors.New("linalg: singular matrix")
 
+// ErrNonFinite is returned when a matrix handed to a factorization
+// contains NaN or Inf entries — the input is poisoned and no solve
+// can repair it. Catching this at the gate names the offending entry
+// instead of letting NaN propagate into every downstream result.
+var ErrNonFinite = errors.New("linalg: non-finite matrix entry")
+
+// ErrIllConditioned is returned when a solve produces non-finite
+// values from a finite system: the factorization was numerically too
+// ill-conditioned (pivot underflow/overflow) for the result to mean
+// anything. Callers get a named error instead of a NaN/Inf-poisoned
+// vector.
+var ErrIllConditioned = errors.New("linalg: ill-conditioned system")
+
+// checkFinite rejects matrices carrying NaN/Inf before an O(n³)
+// factorization bothers to start; the scan is O(n²) and names the
+// first offending element.
+func checkFinite(data []float64, cols int) error {
+	for i, v := range data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: element (%d,%d) = %g", ErrNonFinite, i/cols, i%cols, v)
+		}
+	}
+	return nil
+}
+
 // Matrix is a dense row-major real matrix.
 type Matrix struct {
 	Rows, Cols int
@@ -107,6 +132,20 @@ type LU struct {
 	lu   []float64
 	piv  []int
 	sign int // parity of permutation; determinant sign
+	// minPiv/maxPiv are the extreme |pivot| magnitudes seen during
+	// elimination; their ratio is a cheap condition estimate.
+	minPiv, maxPiv float64
+}
+
+// CondEstimate returns the ratio of the largest to smallest |pivot|
+// of the factorization — a free lower bound on the true condition
+// number. Values near 1/ε (≈ 4.5e15 for float64) mean the solve has
+// no trustworthy digits left.
+func (f *LU) CondEstimate() float64 {
+	if f.minPiv == 0 {
+		return math.Inf(1)
+	}
+	return f.maxPiv / f.minPiv
 }
 
 // Factor computes the LU factorization of square matrix a. The input
@@ -115,8 +154,11 @@ func Factor(a *Matrix) (*LU, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("linalg: Factor needs a square matrix, got %d×%d", a.Rows, a.Cols)
 	}
+	if err := checkFinite(a.Data, a.Cols); err != nil {
+		return nil, err
+	}
 	n := a.Rows
-	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1, minPiv: math.Inf(1)}
 	copy(f.lu, a.Data)
 	for i := range f.piv {
 		f.piv[i] = i
@@ -133,6 +175,17 @@ func Factor(a *Matrix) (*LU, error) {
 		}
 		if max == 0 || math.IsNaN(max) {
 			return nil, ErrSingular
+		}
+		if math.IsInf(max, 0) {
+			// Finite input overflowed during elimination: the system is
+			// numerically hopeless, not merely rank-deficient.
+			return nil, fmt.Errorf("pivot overflow in column %d: %w", k, ErrIllConditioned)
+		}
+		if max < f.minPiv {
+			f.minPiv = max
+		}
+		if max > f.maxPiv {
+			f.maxPiv = max
 		}
 		if p != k {
 			rowP := lu[p*n : p*n+n]
@@ -192,6 +245,12 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 			return nil, ErrSingular
 		}
 		x[i] = s / d
+	}
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("solution component %d is %g (pivot condition estimate %.3g): %w",
+				i, v, f.CondEstimate(), ErrIllConditioned)
+		}
 	}
 	return x, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -48,6 +49,15 @@ func (r *ACResult) PhaseDeg(node string) ([]float64, error) {
 // listed are shorted, i.e. magnitude 0). Probes are node names; the
 // branch currents of all AC-driven sources are also recorded.
 func AC(nl *netlist.Netlist, freqs []float64, acMag map[string]float64, probes []string) (*ACResult, error) {
+	return ACCtx(context.Background(), nl, freqs, acMag, probes)
+}
+
+// ACCtx is AC honouring cancellation between frequency points and
+// guarding each solve against non-finite results (ErrDiverged).
+func ACCtx(ctx context.Context, nl *netlist.Netlist, freqs []float64, acMag map[string]float64, probes []string) (*ACResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(freqs) == 0 {
 		return nil, fmt.Errorf("sim: AC needs at least one frequency")
 	}
@@ -91,6 +101,9 @@ func AC(nl *netlist.Netlist, freqs []float64, acMag map[string]float64, probes [
 
 	a := linalg.NewCMatrix(m.dim, m.dim)
 	for _, f := range freqs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w := 2 * math.Pi * f
 		for i := range a.Data {
 			a.Data[i] = complex(m.g.Data[i], w*m.c.Data[i])
@@ -98,6 +111,12 @@ func AC(nl *netlist.Netlist, freqs []float64, acMag map[string]float64, probes [
 		x, err := linalg.SolveSystemC(a, b)
 		if err != nil {
 			return nil, fmt.Errorf("sim: AC solve at %g Hz: %w", f, err)
+		}
+		for _, v := range x {
+			if cmplx.IsNaN(v) || cmplx.IsInf(v) {
+				simDiverged.Inc()
+				return nil, fmt.Errorf("sim: AC solve at %g Hz: %w", f, ErrDiverged)
+			}
 		}
 		for _, p := range probes {
 			var v complex128

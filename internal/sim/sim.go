@@ -7,14 +7,41 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"clockrlc/internal/linalg"
 	"clockrlc/internal/netlist"
 	"clockrlc/internal/obs"
 )
+
+// ErrDiverged is returned when a simulation's state vector stops
+// being finite — numerical divergence or a poisoned source — instead
+// of recording NaN/Inf waveforms that silently corrupt every derived
+// delay and skew number.
+var ErrDiverged = errors.New("sim: solution diverged (non-finite values)")
+
+// simDiverged counts transient/AC runs aborted by the divergence
+// guard.
+var simDiverged = obs.GetCounter("sim.diverged")
+
+// finiteVec reports whether every component of x is finite.
+func finiteVec(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// cancelCheckStride bounds how many integration steps run between
+// context polls: cancellation latency stays under a few dozen
+// back-substitutions while the hot loop stays branch-cheap.
+const cancelCheckStride = 64
 
 // Transient-simulator accounting. Counters are bumped once per run
 // (never inside the step loop) so the unobserved hot path is
@@ -159,6 +186,19 @@ func (r *Result) Waveform(node string) ([]float64, error) {
 // be probed and is identically zero). The initial state is the DC
 // operating point of the sources at t = 0.
 func Transient(nl *netlist.Netlist, h, tstop float64, probes []string) (*Result, error) {
+	return TransientCtx(context.Background(), nl, h, tstop, probes)
+}
+
+// TransientCtx is Transient honouring cancellation (polled every
+// cancelCheckStride steps, so a cancel lands within a handful of
+// back-substitutions) and guarded against divergence: the state
+// vector is checked for NaN/Inf after every step and a non-finite
+// state aborts with ErrDiverged naming the step instead of returning
+// poisoned waveforms.
+func TransientCtx(ctx context.Context, nl *netlist.Netlist, h, tstop float64, probes []string) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if h <= 0 || tstop <= 0 || tstop < h {
 		return nil, fmt.Errorf("sim: bad time grid (h=%g, tstop=%g)", h, tstop)
 	}
@@ -193,6 +233,10 @@ func Transient(nl *netlist.Netlist, h, tstop float64, probes []string) (*Result,
 	x, err := gf.Solve(b0)
 	if err != nil {
 		return nil, fmt.Errorf("sim: DC solve: %w", err)
+	}
+	if !finiteVec(x) {
+		simDiverged.Inc()
+		return nil, fmt.Errorf("sim: DC operating point: %w", ErrDiverged)
 	}
 
 	// Trapezoidal system matrix A = G + (2/h)·C, factored once.
@@ -231,6 +275,11 @@ func Transient(nl *netlist.Netlist, h, tstop float64, probes []string) (*Result,
 	bNext := make([]float64, m.dim)
 	rhsVec := make([]float64, m.dim)
 	for n := 1; n <= steps; n++ {
+		if n%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		t0 := float64(n-1) * h
 		t1 := float64(n) * h
 		// rhs = (2/h)C·x0 − G·x0 + b(t0) + b(t1)
@@ -241,9 +290,17 @@ func Transient(nl *netlist.Netlist, h, tstop float64, probes []string) (*Result,
 		for i := range rhsVec {
 			rhsVec[i] += bNext[i] + s*cx[i] - gx[i]
 		}
+		if !finiteVec(rhsVec) {
+			simDiverged.Inc()
+			return nil, fmt.Errorf("sim: step %d (t=%g s): right-hand side non-finite (bad source?): %w", n, t1, ErrDiverged)
+		}
 		x, err = af.Solve(rhsVec)
 		if err != nil {
 			return nil, fmt.Errorf("sim: step %d: %w", n, err)
+		}
+		if !finiteVec(x) {
+			simDiverged.Inc()
+			return nil, fmt.Errorf("sim: step %d (t=%g s): %w", n, t1, ErrDiverged)
 		}
 		record(t1, x)
 	}

@@ -14,6 +14,7 @@
 package sizing
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -80,6 +81,17 @@ func (s Spec) segment(w float64) (core.Segment, error) {
 
 // SweepWidth evaluates every candidate width.
 func SweepWidth(e *core.Extractor, s Spec, widths []float64) ([]Point, error) {
+	return SweepWidthCtx(context.Background(), e, s, widths)
+}
+
+// SweepWidthCtx is SweepWidth honouring cancellation between
+// candidate widths (each candidate is one extraction plus one
+// transient simulation, so a cancel lands within one candidate's
+// work).
+func SweepWidthCtx(ctx context.Context, e *core.Extractor, s Spec, widths []float64) ([]Point, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -92,6 +104,9 @@ func SweepWidth(e *core.Extractor, s Spec, widths []float64) ([]Point, error) {
 	}
 	var out []Point
 	for _, w := range widths {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if w <= 0 {
 			return nil, fmt.Errorf("sizing: width %g must be positive", w)
 		}
@@ -119,7 +134,12 @@ func SweepWidth(e *core.Extractor, s Spec, widths []float64) ([]Point, error) {
 
 // Optimize runs SweepWidth and returns the minimum-delay point.
 func Optimize(e *core.Extractor, s Spec, widths []float64) (Point, []Point, error) {
-	pts, err := SweepWidth(e, s, widths)
+	return OptimizeCtx(context.Background(), e, s, widths)
+}
+
+// OptimizeCtx is Optimize with cancellation; see SweepWidthCtx.
+func OptimizeCtx(ctx context.Context, e *core.Extractor, s Spec, widths []float64) (Point, []Point, error) {
+	pts, err := SweepWidthCtx(ctx, e, s, widths)
 	if err != nil {
 		return Point{}, nil, err
 	}

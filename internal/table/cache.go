@@ -11,6 +11,7 @@ package table
 // re-solves rather than loading stale bytes.
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -19,7 +20,9 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"time"
 
+	"clockrlc/internal/fault"
 	"clockrlc/internal/geom"
 	"clockrlc/internal/obs"
 )
@@ -27,13 +30,27 @@ import (
 // Cache accounting: hits serve a ready set with zero solver calls,
 // misses fall through to Build, corrupt counts entries that existed
 // but failed to load or verify (treated as misses and overwritten by
-// the next Put).
+// the next Put). io_errors counts reads and writes that stayed failed
+// after the transient-retry budget — the cache degrades to a rebuild
+// (read) or an unpersisted set (write) rather than failing the
+// extraction.
 var (
 	cacheHits    = obs.GetCounter("table.cache_hits")
 	cacheMisses  = obs.GetCounter("table.cache_misses")
 	cacheWrites  = obs.GetCounter("table.cache_writes")
 	cacheCorrupt = obs.GetCounter("table.cache_corrupt")
+	cacheIOErrs  = obs.GetCounter("table.cache_io_errors")
 )
+
+// cacheRetry re-attempts transient cache I/O (per fault.IsTransient)
+// before degrading; corrupt or missing entries are never retried.
+var cacheRetry = fault.Policy{
+	Attempts: 3,
+	Base:     time.Millisecond,
+	Max:      50 * time.Millisecond,
+	Factor:   4,
+	Jitter:   0.5,
+}
 
 // cacheKeyRecord pins exactly the fields that participate in the
 // cache key. Config.Name is provenance (a label) and Config.Workers
@@ -130,19 +147,45 @@ func (c *Cache) Path(key string) string { return filepath.Join(c.dir, key+".json
 // hit the stored set is returned with the caller's Name and Workers
 // applied, since those are excluded from the address.
 func (c *Cache) Get(cfg Config, axes Axes) (*Set, bool, error) {
+	return c.GetCtx(context.Background(), cfg, axes)
+}
+
+// GetCtx is Get honouring cancellation: retry backoffs wake on a
+// cancelled ctx and the context error is returned rather than being
+// misread as a miss. Transient read failures (injected or the
+// retryable POSIX errnos) are re-attempted per cacheRetry; if they
+// persist the entry is counted in table.cache_io_errors and treated
+// as a miss, degrading to a rebuild instead of failing the caller.
+func (c *Cache) GetCtx(ctx context.Context, cfg Config, axes Axes) (*Set, bool, error) {
 	key, err := CacheKey(cfg, axes)
 	if err != nil {
 		return nil, false, err
 	}
-	s, err := LoadFile(c.Path(key))
+	var s *Set
+	err = cacheRetry.Do(ctx, "table.cache.read", func() error {
+		if err := fault.Check(fault.CacheRead); err != nil {
+			return err
+		}
+		var lerr error
+		s, lerr = LoadFile(c.Path(key))
+		return lerr
+	})
 	if err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
+		switch {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return nil, false, err
+		case errors.Is(err, fs.ErrNotExist):
+			cacheMisses.Inc()
+			return nil, false, nil
+		case fault.IsTransient(err):
+			cacheIOErrs.Inc()
+			cacheMisses.Inc()
+			return nil, false, nil
+		default:
+			cacheCorrupt.Inc()
 			cacheMisses.Inc()
 			return nil, false, nil
 		}
-		cacheCorrupt.Inc()
-		cacheMisses.Inc()
-		return nil, false, nil
 	}
 	// Content-addressed verification: the entry must hash back to the
 	// address it was found under, or it was written by a different
@@ -161,6 +204,12 @@ func (c *Cache) Get(cfg Config, axes Axes) (*Set, bool, error) {
 
 // Put stores a built set under its content address, atomically.
 func (c *Cache) Put(s *Set) error {
+	return c.PutCtx(context.Background(), s)
+}
+
+// PutCtx is Put honouring cancellation; transient write failures are
+// re-attempted per cacheRetry before the error is returned.
+func (c *Cache) PutCtx(ctx context.Context, s *Set) error {
 	if s == nil {
 		return errors.New("table: cache: nil set")
 	}
@@ -168,7 +217,13 @@ func (c *Cache) Put(s *Set) error {
 	if err != nil {
 		return err
 	}
-	if err := s.SaveFile(c.Path(key)); err != nil {
+	err = cacheRetry.Do(ctx, "table.cache.write", func() error {
+		if err := fault.Check(fault.CacheWrite); err != nil {
+			return err
+		}
+		return s.SaveFile(c.Path(key))
+	})
+	if err != nil {
 		return err
 	}
 	cacheWrites.Inc()
@@ -180,13 +235,24 @@ func (c *Cache) Put(s *Set) error {
 // and otherwise builds it (tracing to o, nil selects the default
 // observer) and writes it back for every extraction after this one.
 func (c *Cache) GetOrBuild(cfg Config, axes Axes, o *obs.Observer) (*Set, error) {
+	return c.GetOrBuildCtx(context.Background(), cfg, axes, o)
+}
+
+// GetOrBuildCtx is GetOrBuild honouring cancellation end to end: the
+// cache probe, the sweep (which drains its workers within one cell of
+// a cancel) and the write-back all stop on ctx. A failed write-back
+// of a successfully built set degrades rather than fails — the set is
+// correct and usable, only its persistence was lost — counted in
+// table.cache_io_errors and flagged on the span; cancellation during
+// the write is still propagated.
+func (c *Cache) GetOrBuildCtx(ctx context.Context, cfg Config, axes Axes, o *obs.Observer) (*Set, error) {
 	if o == nil {
 		o = obs.Default()
 	}
 	sp := o.Start("table.cache")
 	sp.SetAttr("name", cfg.Name)
 	defer sp.End()
-	s, ok, err := c.Get(cfg, axes)
+	s, ok, err := c.GetCtx(ctx, cfg, axes)
 	if err != nil {
 		return nil, err
 	}
@@ -195,12 +261,16 @@ func (c *Cache) GetOrBuild(cfg Config, axes Axes, o *obs.Observer) (*Set, error)
 		return s, nil
 	}
 	sp.SetAttr("outcome", "miss")
-	s, err = BuildObserved(cfg, axes, o)
+	s, err = BuildCtx(ctx, cfg, axes, o)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.Put(s); err != nil {
-		return nil, err
+	if err := c.PutCtx(ctx, s); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		cacheIOErrs.Inc()
+		sp.SetAttr("write_error", err.Error())
 	}
 	return s, nil
 }

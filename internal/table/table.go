@@ -14,12 +14,14 @@
 package table
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"time"
 
+	"clockrlc/internal/fault"
 	"clockrlc/internal/geom"
 	"clockrlc/internal/loop"
 	"clockrlc/internal/obs"
@@ -94,19 +96,38 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// checkPositive rejects non-positive and non-finite values with an
+// error naming the offending field; NaN would otherwise slip past a
+// plain `v <= 0` comparison and reach the field solver.
+func checkPositive(pkg, field string, v float64) error {
+	switch {
+	case math.IsNaN(v):
+		return fmt.Errorf("%s: %s is NaN", pkg, field)
+	case math.IsInf(v, 0):
+		return fmt.Errorf("%s: %s is infinite", pkg, field)
+	case v <= 0:
+		return fmt.Errorf("%s: %s must be positive, got %g", pkg, field, v)
+	}
+	return nil
+}
+
 // Validate checks the configuration is buildable.
 func (c Config) Validate() error {
-	if c.Thickness <= 0 {
-		return fmt.Errorf("table: thickness must be positive, got %g", c.Thickness)
-	}
-	if c.Rho <= 0 {
-		return fmt.Errorf("table: resistivity must be positive, got %g", c.Rho)
-	}
-	if c.Frequency <= 0 {
-		return fmt.Errorf("table: frequency must be positive, got %g", c.Frequency)
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"thickness", c.Thickness},
+		{"resistivity", c.Rho},
+		{"frequency", c.Frequency},
+	} {
+		if err := checkPositive("table", f.name, f.v); err != nil {
+			return err
+		}
 	}
 	if c.Shielding != geom.ShieldNone {
-		if c.PlaneGap <= 0 || c.PlaneThickness <= 0 {
+		if math.IsNaN(c.PlaneGap) || math.IsNaN(c.PlaneThickness) ||
+			c.PlaneGap <= 0 || c.PlaneThickness <= 0 {
 			return fmt.Errorf("table: %v configuration needs PlaneGap and PlaneThickness", c.Shielding)
 		}
 	}
@@ -132,6 +153,9 @@ func (a Axes) Validate() error {
 			return fmt.Errorf("table: need at least two %s", name)
 		}
 		for i, v := range ax {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("table: %s[%d] = %g is not finite", name, i, v)
+			}
 			if v <= 0 {
 				return fmt.Errorf("table: %s[%d] = %g must be positive", name, i, v)
 			}
@@ -192,7 +216,7 @@ type Set struct {
 // the result is bit-for-bit identical to a serial build. Tracing goes
 // to the default observer; use BuildObserved to direct it elsewhere.
 func Build(cfg Config, axes Axes) (*Set, error) {
-	return BuildObserved(cfg, axes, nil)
+	return BuildCtx(context.Background(), cfg, axes, nil)
 }
 
 // BuildObserved is Build tracing to the given observer (nil selects
@@ -200,6 +224,29 @@ func Build(cfg Config, axes Axes) (*Set, error) {
 // calling goroutine; workers contribute solely through the atomic
 // metrics counters.
 func BuildObserved(cfg Config, axes Axes, o *obs.Observer) (*Set, error) {
+	return BuildCtx(context.Background(), cfg, axes, o)
+}
+
+// solverRetry re-attempts transient field-solver failures (per
+// fault.IsTransient) a few times with jittered backoff before failing
+// the sweep cell; deterministic solver errors fail on the first try.
+var solverRetry = fault.Policy{
+	Attempts: 3,
+	Base:     time.Millisecond,
+	Max:      50 * time.Millisecond,
+	Factor:   4,
+	Jitter:   0.5,
+}
+
+// BuildCtx is Build honouring cancellation and deadlines: a cancelled
+// ctx stops the sweep within one cell's solve time, drains every
+// worker (no goroutine survives the return) and yields ctx.Err().
+// Transient solver failures are retried per solverRetry; a panicking
+// sweep cell surfaces as a *CellPanic carrying its cell index.
+func BuildCtx(ctx context.Context, cfg Config, axes Axes, o *obs.Observer) (*Set, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -229,14 +276,16 @@ func BuildObserved(cfg Config, axes Axes, o *obs.Observer) (*Set, error) {
 
 	nw, ns, nl := len(axes.Widths), len(axes.Spacings), len(axes.Lengths)
 	selfVals := make([]float64, nw*nl)
-	err := ParallelFor(len(selfVals), workers, func(k int) error {
+	err := ParallelForCtx(ctx, len(selfVals), workers, func(k int) error {
 		w, l := axes.Widths[k/nl], axes.Lengths[k%nl]
-		v, err := selfEntry(cfg, w, l)
-		if err != nil {
-			return fmt.Errorf("table: self(w=%g, l=%g): %w", w, l, err)
-		}
-		selfVals[k] = v
-		return nil
+		return solverRetry.Do(ctx, "table.self", func() error {
+			v, err := selfEntry(cfg, w, l)
+			if err != nil {
+				return fmt.Errorf("table: self(w=%g, l=%g): %w", w, l, err)
+			}
+			selfVals[k] = v
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -266,14 +315,16 @@ func BuildObserved(cfg Config, axes Axes, o *obs.Observer) (*Set, error) {
 		}
 	}
 	mutVals := make([]float64, nw*nw*ns*nl)
-	err = ParallelFor(len(jobs), workers, func(k int) error {
+	err = ParallelForCtx(ctx, len(jobs), workers, func(k int) error {
 		jb := jobs[k]
-		v, err := mutualEntry(cfg, jb.w1, jb.w2, jb.sp, jb.l)
-		if err != nil {
-			return fmt.Errorf("table: mutual(w1=%g, w2=%g, s=%g, l=%g): %w", jb.w1, jb.w2, jb.sp, jb.l, err)
-		}
-		mutVals[jb.idx] = v
-		return nil
+		return solverRetry.Do(ctx, "table.mutual", func() error {
+			v, err := mutualEntry(cfg, jb.w1, jb.w2, jb.sp, jb.l)
+			if err != nil {
+				return fmt.Errorf("table: mutual(w1=%g, w2=%g, s=%g, l=%g): %w", jb.w1, jb.w2, jb.sp, jb.l, err)
+			}
+			mutVals[jb.idx] = v
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -301,6 +352,9 @@ func BuildObserved(cfg Config, axes Axes, o *obs.Observer) (*Set, error) {
 // selfEntry extracts one self-table value.
 func selfEntry(cfg Config, w, l float64) (float64, error) {
 	tableSolves.Inc()
+	if err := fault.Check(fault.SolverCall); err != nil {
+		return 0, err
+	}
 	if cfg.Shielding == geom.ShieldNone {
 		rl, err := peec.EffectiveRL(
 			peec.Bar{Axis: peec.AxisX, O: [3]float64{0, -w / 2, 0}, L: l, W: w, T: cfg.Thickness},
@@ -321,6 +375,9 @@ func selfEntry(cfg Config, w, l float64) (float64, error) {
 // mutualEntry extracts one mutual-table value.
 func mutualEntry(cfg Config, w1, w2, sp, l float64) (float64, error) {
 	tableSolves.Inc()
+	if err := fault.Check(fault.SolverCall); err != nil {
+		return 0, err
+	}
 	if cfg.Shielding == geom.ShieldNone {
 		a := peec.Bar{Axis: peec.AxisX, O: [3]float64{0, 0, 0}, L: l, W: w1, T: cfg.Thickness}
 		b := peec.Bar{Axis: peec.AxisX, O: [3]float64{0, w1 + sp, 0}, L: l, W: w2, T: cfg.Thickness}
@@ -417,6 +474,9 @@ func (s *Set) SelfL(w, l float64) (float64, error) {
 	if w <= 0 || l <= 0 {
 		return 0, fmt.Errorf("table: SelfL arguments must be positive (w=%g, l=%g)", w, l)
 	}
+	if err := fault.Check(fault.SplineLookup); err != nil {
+		return 0, err
+	}
 	countLookup(inRange(s.Axes.Widths, w) && inRange(s.Axes.Lengths, l))
 	return s.Self.Eval(w, l)
 }
@@ -426,6 +486,9 @@ func (s *Set) SelfL(w, l float64) (float64, error) {
 func (s *Set) MutualL(w1, w2, sp, l float64) (float64, error) {
 	if w1 <= 0 || w2 <= 0 || sp <= 0 || l <= 0 {
 		return 0, fmt.Errorf("table: MutualL arguments must be positive (w1=%g, w2=%g, s=%g, l=%g)", w1, w2, sp, l)
+	}
+	if err := fault.Check(fault.SplineLookup); err != nil {
+		return 0, err
 	}
 	countLookup(inRange(s.Axes.Widths, w1) && inRange(s.Axes.Widths, w2) &&
 		inRange(s.Axes.Spacings, sp) && inRange(s.Axes.Lengths, l))

@@ -75,3 +75,36 @@ END {
 
 echo "wrote $cache_out:"
 cat "$cache_out"
+
+# Fault pass: re-measures the warm paths with the fault-injection
+# layer compiled in (it is always compiled in — every SelfL/MutualL
+# lookup and cache read crosses a fault.Check, which is one atomic
+# pointer load when no injector is registered). The ratios against the
+# spline/cache passes above are run-to-run noise by construction; a
+# ratio drifting past a few percent means the no-op hook stopped being
+# free. Written to BENCH_fault.json.
+fault_out=BENCH_fault.json
+
+raw_lookup=$(echo "$raw" | awk '/^BenchmarkE10TableLookup/ { print $3 }')
+base_warm=$(echo "$cache_raw" | awk '/BenchmarkExtractorCache\/warm/ { if (w == 0 || $3 < w) w = $3 } END { print w }')
+
+fault_lookup_raw=$(go test -run '^$' -bench 'BenchmarkE10TableLookup$' -benchtime 2s .)
+fault_warm_raw=$(go test -run '^$' -bench 'BenchmarkExtractorCache/warm$' -benchtime 3x -count 3 .)
+fault_raw=$(printf '%s\n%s\n' "$fault_lookup_raw" "$fault_warm_raw")
+echo "$fault_raw"
+
+{ echo "$fault_raw"; echo "BASE_lookup $raw_lookup"; echo "BASE_warm $base_warm"; } | awk '
+/^BenchmarkE10TableLookup/       { lookup = $3 }
+/BenchmarkExtractorCache\/warm/  { if (warm == 0 || $3 < warm) warm = $3 }
+/^BASE_lookup/ { base_lookup = $2 }
+/^BASE_warm/   { base_warm = $2 }
+END {
+  if (lookup == "" || warm == 0 || base_lookup == "" || base_warm == 0) {
+    print "bench.sh: missing fault benchmark output" > "/dev/stderr"
+    exit 1
+  }
+  printf "{\n  \"table_lookup_ns_per_op\": %s,\n  \"extractor_cache_hit_ns_per_op\": %d,\n  \"lookup_vs_spline_pass\": %.3f,\n  \"warm_vs_cache_pass\": %.3f\n}\n", lookup, warm, lookup / base_lookup, warm / base_warm
+}' >"$fault_out"
+
+echo "wrote $fault_out:"
+cat "$fault_out"
