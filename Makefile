@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: all tier1 vet build test race roundtrip chaos bench bench-obs clean
+.PHONY: all tier1 vet build test race roundtrip chaos fuzz bench bench-obs clean
 
 all: tier1
 
 # tier1 is the repository's gating check: vet, build, full test suite
-# under the race detector, the persistence round-trip gate, and the
-# fault-injection chaos matrix.
-tier1: vet build race roundtrip chaos
+# under the race detector, the persistence round-trip gate, the
+# fault-injection chaos matrix, and a short randomised fuzz pass over
+# the input gates.
+tier1: vet build race roundtrip chaos fuzz
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +37,18 @@ chaos:
 		-run 'Fault|Chaos|Cancel|Panic|Diverge|Retry|Injected|Transient|Degrad|Sign|Exit|NonFinite|Singular|IllCondition|Validation' \
 		./internal/fault ./internal/table ./internal/core ./internal/sim ./internal/linalg ./internal/cliobs
 
+# fuzz gives every native fuzz target a short randomised budget on top
+# of the committed seed corpora (which already run as plain test cases
+# in `make test`/`make race`). go only accepts one -fuzz pattern per
+# invocation, so each target gets its own run.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^FuzzLoadFile$$' -fuzz '^FuzzLoadFile$$' -fuzztime $(FUZZTIME) ./internal/table
+	$(GO) test -run '^FuzzLibraryFileName$$' -fuzz '^FuzzLibraryFileName$$' -fuzztime $(FUZZTIME) ./internal/table
+	$(GO) test -run '^FuzzConfigValidate$$' -fuzz '^FuzzConfigValidate$$' -fuzztime $(FUZZTIME) ./internal/table
+	$(GO) test -run '^FuzzGridEvalReference$$' -fuzz '^FuzzGridEvalReference$$' -fuzztime $(FUZZTIME) ./internal/spline
+	$(GO) test -run '^FuzzGeometryValidate$$' -fuzz '^FuzzGeometryValidate$$' -fuzztime $(FUZZTIME) ./internal/core
+
 # bench runs the full experiment benchmark suite (slow).
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$'
@@ -48,4 +61,4 @@ bench-obs:
 	./scripts/bench.sh
 
 clean:
-	rm -f BENCH_obs.json BENCH_spline.json BENCH_cache.json BENCH_fault.json
+	rm -f BENCH_obs.json BENCH_spline.json BENCH_cache.json BENCH_fault.json BENCH_check.json

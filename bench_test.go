@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"clockrlc/internal/check"
 	"clockrlc/internal/core"
 	"clockrlc/internal/geom"
 	"clockrlc/internal/paper"
@@ -161,6 +162,24 @@ func BenchmarkE9ProcessVariation(b *testing.B) {
 func BenchmarkE10TableLookup(b *testing.B) {
 	e := benchExtractor(b)
 	seg := paper.Fig1Segment()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.LoopL(seg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10TableLookupChecked is the same composition with the
+// invariant engine armed in warn mode, so the per-lookup price of the
+// physical checks is visible next to the disarmed number (which must
+// stay indistinguishable from the pre-check baseline: disarmed is one
+// atomic load).
+func BenchmarkE10TableLookupChecked(b *testing.B) {
+	e := benchExtractor(b)
+	seg := paper.Fig1Segment()
+	check.SetPolicy(check.Warn)
+	defer check.SetPolicy(check.Off)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.LoopL(seg); err != nil {

@@ -44,6 +44,7 @@ import (
 
 	"clockrlc/internal/bus"
 	"clockrlc/internal/cascade"
+	"clockrlc/internal/check"
 	"clockrlc/internal/clocktree"
 	"clockrlc/internal/core"
 	"clockrlc/internal/elmore"
@@ -563,3 +564,81 @@ func PublishMetricsExpvar() { obs.PublishExpvar() }
 // built axes and were answered by spline extrapolation — nonzero
 // values mean the table axes should be widened for this design.
 func ClampedTableLookups() int64 { return table.ClampedLookups() }
+
+// Physical-invariant validation (see the "Validation & invariants"
+// sections of README.md and DESIGN.md): audits of built/loaded table
+// sets, coupling bounds at loop composition, cascade positivity and
+// sim output sanity, under a configurable policy.
+type (
+	// CheckPolicy selects what a detected invariant violation does:
+	// CheckStrict returns a named error, CheckWarn counts it and
+	// continues, CheckOff disarms every check site (one atomic load).
+	CheckPolicy = check.Policy
+	// CheckViolation is one observed breach of a physical invariant,
+	// naming the stage, subject, cell and invariant. It is the error
+	// returned under CheckStrict.
+	CheckViolation = check.Violation
+	// TableLookupPolicy selects what out-of-range table lookups do.
+	TableLookupPolicy = table.LookupPolicy
+)
+
+// Check policies.
+const (
+	CheckOff    = check.Off
+	CheckWarn   = check.Warn
+	CheckStrict = check.Strict
+)
+
+// Table lookup policies for coordinates outside the built axes.
+const (
+	// TableLookupExtrapolate lets the spline extrapolate linearly (the
+	// default, the paper's "mild extrapolation").
+	TableLookupExtrapolate = table.LookupExtrapolate
+	// TableLookupClamp clamps coordinates to the axis endpoints.
+	TableLookupClamp = table.LookupClamp
+	// TableLookupError refuses with an error unwrapping to
+	// ErrTableOutOfRange.
+	TableLookupError = table.LookupError
+)
+
+// Named error sentinels of the validation layer.
+var (
+	// ErrCheckViolation matches (errors.Is) every strict-mode
+	// invariant violation.
+	ErrCheckViolation = check.ErrViolation
+	// ErrTableOutOfRange matches lookups refused under
+	// TableLookupError.
+	ErrTableOutOfRange = table.ErrOutOfRange
+)
+
+// SetCheckPolicy arms (or, with CheckOff, disarms) the process-wide
+// invariant engine. The cmds expose this as -check=strict|warn|off.
+func SetCheckPolicy(p CheckPolicy) { check.SetPolicy(p) }
+
+// ParseCheckPolicy parses "off", "warn" or "strict".
+func ParseCheckPolicy(s string) (CheckPolicy, error) { return check.ParsePolicy(s) }
+
+// ParseTableLookupPolicy parses "extrapolate", "clamp" or "error".
+func ParseTableLookupPolicy(s string) (TableLookupPolicy, error) {
+	return table.ParseLookupPolicy(s)
+}
+
+// WithChecks gives one extractor its own invariant policy, overriding
+// the process-wide engine: its table sets are audited at construction
+// and its loop compositions check coupling bounds and positivity.
+func WithChecks(p CheckPolicy) ExtractorOption { return core.WithChecks(p) }
+
+// WithLookupPolicy selects the out-of-range behaviour of every table
+// set the extractor builds or loads.
+func WithLookupPolicy(p TableLookupPolicy) ExtractorOption { return core.WithLookupPolicy(p) }
+
+// AuditTables checks every physical invariant of a built or loaded
+// table set — self-L finite/positive/monotone, mutual symmetry,
+// coupling k < 1, spline spike detection between knots — and returns
+// all violations found (nil for a clean set), regardless of the
+// process check policy.
+func AuditTables(s *TableSet) []CheckViolation { return s.Audit() }
+
+// CheckViolationCount reports the process-wide number of invariant
+// violations recorded (the check.violations metric).
+func CheckViolationCount() int64 { return check.Violations() }

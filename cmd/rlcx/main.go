@@ -42,6 +42,8 @@ func main() {
 		cacheDir  = flag.String("cache", "", "content-addressed table cache directory (reused across runs)")
 		doNetlist = flag.Bool("netlist", false, "print the RLC ladder netlist")
 		sections  = flag.Int("sections", 8, "ladder sections for -netlist")
+		lookupPol = flag.String("lookup-policy", "extrapolate",
+			"out-of-range table lookup `policy`: extrapolate, clamp or error")
 	)
 	flag.Parse()
 	sd := cliobs.NotifyShutdown()
@@ -51,7 +53,7 @@ func main() {
 		os.Exit(cliobs.ExitFailure)
 	}
 	err = run(sd.Context(), *length, *wsig, *wgnd, *space, *shield, *thickness, *capHeight,
-		*tr, *tablePath, *cacheDir, *doNetlist, *sections)
+		*tr, *tablePath, *cacheDir, *doNetlist, *sections, *lookupPol)
 	sess.Close()
 	sd.Stop()
 	if err != nil {
@@ -61,7 +63,7 @@ func main() {
 }
 
 func run(ctx context.Context, length, wsig, wgnd, space float64, shield string, thickness, capHeight,
-	tr float64, tablePath, cacheDir string, doNetlist bool, sections int) error {
+	tr float64, tablePath, cacheDir string, doNetlist bool, sections int, lookupPol string) error {
 	var sh geom.Shielding
 	switch shield {
 	case "coplanar":
@@ -70,6 +72,10 @@ func run(ctx context.Context, length, wsig, wgnd, space float64, shield string, 
 		sh = geom.ShieldMicrostrip
 	default:
 		return fmt.Errorf("bad -shield %q", shield)
+	}
+	lp, err := table.ParseLookupPolicy(lookupPol)
+	if err != nil {
+		return fmt.Errorf("-lookup-policy: %w", err)
 	}
 	tech := core.Technology{
 		Thickness:      units.Um(thickness),
@@ -82,15 +88,15 @@ func run(ctx context.Context, length, wsig, wgnd, space float64, shield string, 
 	freq := units.SignificantFrequency(tr * units.PicoSecond)
 
 	var ext *core.Extractor
-	var err error
 	if tablePath != "" {
 		set, err2 := table.LoadFile(tablePath)
 		if err2 != nil {
 			return err2
 		}
+		set.Lookup = lp
 		ext, err = core.NewExtractorFromTables(tech, freq, set)
 	} else {
-		var opts []core.Option
+		opts := []core.Option{core.WithLookupPolicy(lp)}
 		if cacheDir != "" {
 			cache, cerr := table.NewCache(cacheDir)
 			if cerr != nil {
@@ -147,7 +153,7 @@ func run(ctx context.Context, length, wsig, wgnd, space float64, shield string, 
 		}
 	}
 	if n := table.ClampedLookups(); n > 0 {
-		fmt.Fprintf(os.Stderr, "warning: %d table lookup(s) fell outside the built axes and were answered by spline extrapolation; widen the table axes to cover this geometry\n", n)
+		fmt.Fprintf(os.Stderr, "warning: %d table lookup(s) fell outside the built axes (handled per -lookup-policy %s; see the table.lookup_oob_* counters); widen the table axes to cover this geometry\n", n, lp)
 	}
 	return nil
 }

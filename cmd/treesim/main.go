@@ -37,6 +37,8 @@ func main() {
 		cin       = flag.Float64("cin", 50, "buffer input capacitance (fF)")
 		imbalance = flag.Float64("imbalance", 1, "load multiplier on leaf 0")
 		cacheDir  = flag.String("cache", "", "content-addressed table cache directory (reused across runs)")
+		lookupPol = flag.String("lookup-policy", "extrapolate",
+			"out-of-range table lookup `policy`: extrapolate, clamp or error")
 	)
 	flag.Parse()
 	sd := cliobs.NotifyShutdown()
@@ -45,7 +47,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "treesim:", err)
 		os.Exit(cliobs.ExitFailure)
 	}
-	err = run(sd.Context(), *levels, *span, *wsig, *wgnd, *space, *shield, *tr, *rdrv, *cin, *imbalance, *cacheDir)
+	err = run(sd.Context(), *levels, *span, *wsig, *wgnd, *space, *shield, *tr, *rdrv, *cin, *imbalance, *cacheDir, *lookupPol)
 	sess.Close()
 	sd.Stop()
 	if err != nil {
@@ -55,7 +57,7 @@ func main() {
 }
 
 func run(ctx context.Context, levels int, span, wsig, wgnd, space float64, shield string,
-	tr, rdrv, cin, imbalance float64, cacheDir string) error {
+	tr, rdrv, cin, imbalance float64, cacheDir, lookupPol string) error {
 	var sh geom.Shielding
 	switch shield {
 	case "coplanar":
@@ -64,6 +66,10 @@ func run(ctx context.Context, levels int, span, wsig, wgnd, space float64, shiel
 		sh = geom.ShieldMicrostrip
 	default:
 		return fmt.Errorf("bad -shield %q", shield)
+	}
+	lp, err := table.ParseLookupPolicy(lookupPol)
+	if err != nil {
+		return fmt.Errorf("-lookup-policy: %w", err)
 	}
 	tech := core.Technology{
 		Thickness:      units.Um(2),
@@ -74,7 +80,7 @@ func run(ctx context.Context, levels int, span, wsig, wgnd, space float64, shiel
 		PlaneThickness: units.Um(1),
 	}
 	freq := units.SignificantFrequency(tr * units.PicoSecond)
-	var opts []core.Option
+	opts := []core.Option{core.WithLookupPolicy(lp)}
 	if cacheDir != "" {
 		cache, cerr := table.NewCache(cacheDir)
 		if cerr != nil {

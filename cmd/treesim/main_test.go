@@ -9,13 +9,13 @@ func TestRunSmallTree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds tables and simulates a tree")
 	}
-	if err := run(context.Background(), 1, 2000, 10, 5, 1, "coplanar", 50, 40, 50, 2, ""); err != nil {
+	if err := run(context.Background(), 1, 2000, 10, 5, 1, "coplanar", 50, 40, 50, 2, "", "extrapolate"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadShield(t *testing.T) {
-	if err := run(context.Background(), 1, 2000, 10, 5, 1, "bogus", 50, 40, 50, 1, ""); err == nil {
+	if err := run(context.Background(), 1, 2000, 10, 5, 1, "bogus", 50, 40, 50, 1, "", "extrapolate"); err == nil {
 		t.Error("accepted unknown shielding")
 	}
 }

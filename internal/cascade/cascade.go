@@ -33,6 +33,7 @@ import (
 	"math"
 	"time"
 
+	"clockrlc/internal/check"
 	"clockrlc/internal/linalg"
 	"clockrlc/internal/loop"
 	"clockrlc/internal/obs"
@@ -240,10 +241,24 @@ func (t *Tree) CascadedLoopL(f float64) (float64, error) {
 	cascadeRuns.Inc()
 	cascadeSegments.Add(int64(len(t.Specs)))
 	segL := make([]float64, len(t.Specs))
+	eng := check.Active()
 	for i := range t.Specs {
 		l, err := t.SegmentLoopL(i, f)
 		if err != nil {
 			return 0, fmt.Errorf("cascade: segment %q: %w", t.Specs[i].Name, err)
+		}
+		// Series/parallel combination preserves positivity only if
+		// every term is positive — an armed engine names the segment
+		// whose isolated loop solve came out non-physical before the
+		// combination can smear it across the tree.
+		if eng.Armed() && (math.IsNaN(l) || math.IsInf(l, 0) || l <= 0) {
+			if err := eng.Report(&check.Violation{
+				Stage: check.StageCascade, Invariant: "segment loop inductance finite and positive",
+				Subject: fmt.Sprintf("segment %q", t.Specs[i].Name),
+				Detail:  fmt.Sprintf("L = %g", l),
+			}); err != nil {
+				return 0, err
+			}
 		}
 		segL[i] = l
 	}
@@ -266,6 +281,15 @@ func (t *Tree) CascadedLoopL(f float64) (float64, error) {
 	l := down(t.Root)
 	if math.IsInf(l, 0) || l <= 0 {
 		return 0, errors.New("cascade: degenerate combination")
+	}
+	if eng.Armed() && math.IsNaN(l) {
+		if err := eng.Report(&check.Violation{
+			Stage: check.StageCascade, Invariant: "cascaded loop inductance finite",
+			Subject: fmt.Sprintf("tree rooted at %q", t.Root),
+			Detail:  fmt.Sprintf("L = %g", l),
+		}); err != nil {
+			return 0, err
+		}
 	}
 	return l, nil
 }
@@ -393,7 +417,17 @@ func (t *Tree) FullLoopL(f float64) (float64, error) {
 		return 0, fmt.Errorf("cascade: nodal solve: %w", err)
 	}
 	zloop := v[src] // reference voltage is 0
-	return imagOverW(zloop, w), nil
+	l := imagOverW(zloop, w)
+	if eng := check.Active(); eng.Armed() && (math.IsNaN(l) || math.IsInf(l, 0) || l <= 0) {
+		if err := eng.Report(&check.Violation{
+			Stage: check.StageCascade, Invariant: "full-tree loop inductance finite and positive",
+			Subject: fmt.Sprintf("tree rooted at %q", t.Root),
+			Detail:  fmt.Sprintf("L = %g", l),
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return l, nil
 }
 
 func imagOverW(z complex128, w float64) float64 { return imag(z) / w }

@@ -1,0 +1,149 @@
+package check
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+	}{
+		{"off", Off}, {"warn", Warn}, {"strict", Strict},
+		{"OFF", Off}, {"Strict", Strict},
+	} {
+		got, err := ParsePolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParsePolicy("loose"); err == nil {
+		t.Error("ParsePolicy accepted an unknown policy")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{Off: "off", Warn: "warn", Strict: "strict"} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+func TestNilEngineIsDisarmed(t *testing.T) {
+	var e *Engine
+	if e.Armed() {
+		t.Error("nil engine reports armed")
+	}
+	if e.Policy() != Off {
+		t.Errorf("nil engine policy = %v, want Off", e.Policy())
+	}
+	if err := e.Report(&Violation{Stage: StageLookup, Invariant: "x"}); err != nil {
+		t.Errorf("nil engine Report returned %v", err)
+	}
+}
+
+func TestWarnCountsAndContinues(t *testing.T) {
+	e := New(Warn)
+	before := Violations()
+	stBefore := StageViolations(StageTableAudit)
+	v := &Violation{Stage: StageTableAudit, Invariant: "self inductance positive",
+		Subject: `table "m6"`, Cell: "self[0,1]", Detail: "L = -1"}
+	if err := e.Report(v); err != nil {
+		t.Fatalf("Warn Report returned error %v", err)
+	}
+	if Violations() != before+1 {
+		t.Errorf("total violations = %d, want %d", Violations(), before+1)
+	}
+	if StageViolations(StageTableAudit) != stBefore+1 {
+		t.Error("stage counter did not advance")
+	}
+}
+
+func TestStrictReturnsNamedError(t *testing.T) {
+	e := New(Strict)
+	v := &Violation{Stage: StageTableAudit, Invariant: "mutual coupling k < 1",
+		Subject: `table "m6/coplanar"`, Cell: "mutual[2,3,1,0] (w1=2e-06)", Detail: "k = 1.73"}
+	err := e.Report(v)
+	if err == nil {
+		t.Fatal("Strict Report returned nil")
+	}
+	if !errors.Is(err, ErrViolation) {
+		t.Error("violation does not match ErrViolation")
+	}
+	for _, frag := range []string{"table_audit", "mutual coupling k < 1", "m6/coplanar", "mutual[2,3,1,0]", "k = 1.73"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q missing %q", err.Error(), frag)
+		}
+	}
+}
+
+func TestReportAllReturnsFirstStrict(t *testing.T) {
+	e := New(Strict)
+	vs := []Violation{
+		{Stage: StageCascade, Invariant: "a"},
+		{Stage: StageCascade, Invariant: "b"},
+	}
+	before := Violations()
+	err := e.ReportAll(vs)
+	if err == nil || !strings.Contains(err.Error(), `"a"`) {
+		t.Errorf("ReportAll = %v, want first violation", err)
+	}
+	if Violations() != before+2 {
+		t.Error("ReportAll did not count every violation")
+	}
+}
+
+func TestGlobalEngineLifecycle(t *testing.T) {
+	defer SetPolicy(Off)
+	if Active() != nil {
+		t.Fatal("engine armed at test start")
+	}
+	SetPolicy(Warn)
+	if !Enabled() || Active().Policy() != Warn {
+		t.Error("SetPolicy(Warn) did not arm the engine")
+	}
+	SetPolicy(Strict)
+	if Active().Policy() != Strict {
+		t.Error("SetPolicy(Strict) did not replace the engine")
+	}
+	SetPolicy(Off)
+	if Active() != nil || Enabled() {
+		t.Error("SetPolicy(Off) did not disarm")
+	}
+}
+
+// The engine is hit concurrently from sweep workers and lookups; the
+// report path must be race-free (run under -race in tier1).
+func TestConcurrentReport(t *testing.T) {
+	e := New(Warn)
+	before := Violations()
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 100
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e.Report(&Violation{Stage: StageLookup, Invariant: "finite"})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Violations() - before; got != goroutines*per {
+		t.Errorf("counted %d violations, want %d", got, goroutines*per)
+	}
+}
+
+func TestUnknownStageStillCounts(t *testing.T) {
+	e := New(Warn)
+	if err := e.Report(&Violation{Stage: Stage("custom"), Invariant: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if StageViolations(Stage("custom")) == 0 {
+		t.Error("unknown stage not counted")
+	}
+}

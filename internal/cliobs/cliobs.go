@@ -1,8 +1,8 @@
 // Package cliobs wires the obs instrumentation layer into the
 // command-line tools: every cmd registers the same -trace, -metrics,
-// -cpuprofile, -memprofile and -pprof flags, starts a Session around
-// its run, and closes it on exit. Keeping the plumbing here means a
-// new tool gets the full observability surface in two lines.
+// -cpuprofile, -memprofile, -pprof and -check flags, starts a Session
+// around its run, and closes it on exit. Keeping the plumbing here
+// means a new tool gets the full observability surface in two lines.
 package cliobs
 
 import (
@@ -15,6 +15,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"clockrlc/internal/check"
 	"clockrlc/internal/obs"
 )
 
@@ -25,6 +26,7 @@ type Flags struct {
 	CPUProfile string
 	MemProfile string
 	PprofAddr  string
+	Check      string
 }
 
 // AddFlags registers the shared observability flags on fs and returns
@@ -36,6 +38,8 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to `file` on exit")
 	fs.StringVar(&f.PprofAddr, "pprof", "", "serve /debug/pprof and /debug/vars on `addr` (e.g. :6060)")
+	fs.StringVar(&f.Check, "check", "warn",
+		"physical-invariant `policy`: strict (reject with a named error), warn (count and continue), off")
 	return f
 }
 
@@ -55,6 +59,13 @@ type Session struct {
 // before exit (defer it right after a successful Start).
 func (f *Flags) Start(name string) (*Session, error) {
 	s := &Session{memPath: f.MemProfile, metrics: f.Metrics, observer: obs.Default()}
+	if f.Check != "" {
+		p, err := check.ParsePolicy(f.Check)
+		if err != nil {
+			return nil, fmt.Errorf("-check: %w", err)
+		}
+		check.SetPolicy(p)
+	}
 	if f.Trace != "" {
 		tf, err := os.Create(f.Trace)
 		if err != nil {
@@ -132,5 +143,11 @@ func (s *Session) Close() {
 		if err := snap.WriteText(os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "warning: -metrics: %v\n", err)
 		}
+	}
+	// A Warn-policy run that tripped invariants should say so even
+	// without -metrics: the numbers were produced, but physically
+	// suspect data flowed through the pipeline.
+	if n := check.Violations(); n > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d physical-invariant violation(s) recorded (see check.violations metrics; rerun with -check=strict to fail fast)\n", n)
 	}
 }

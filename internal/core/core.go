@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"clockrlc/internal/capmodel"
+	"clockrlc/internal/check"
 	"clockrlc/internal/geom"
 	"clockrlc/internal/loop"
 	"clockrlc/internal/netlist"
@@ -137,6 +138,8 @@ type Extractor struct {
 	tables    map[geom.Shielding]*table.Set
 	cache     *table.Cache
 	obs       *obs.Observer
+	checks    *check.Engine
+	lookup    table.LookupPolicy
 }
 
 // Option configures an Extractor at construction time.
@@ -157,6 +160,23 @@ func WithTableCache(c *table.Cache) Option {
 	return func(e *Extractor) { e.cache = c }
 }
 
+// WithChecks gives this extractor its own physical-invariant policy,
+// overriding the process-wide engine (check.SetPolicy) for everything
+// the extractor does: its table sets are audited at construction and
+// its loop compositions check the coupling bounds and positivity of
+// the result. WithChecks(check.Off) explicitly disarms one extractor
+// under a stricter process policy.
+func WithChecks(p check.Policy) Option {
+	return func(e *Extractor) { e.checks = check.New(p) }
+}
+
+// WithLookupPolicy selects what the extractor's out-of-range table
+// lookups do — extrapolate (default), clamp, or error — applied to
+// every set the extractor builds or loads.
+func WithLookupPolicy(p table.LookupPolicy) Option {
+	return func(e *Extractor) { e.lookup = p }
+}
+
 // observer returns the configured observer, falling back to the
 // process default.
 func (e *Extractor) observer() *obs.Observer {
@@ -164,6 +184,16 @@ func (e *Extractor) observer() *obs.Observer {
 		return e.obs
 	}
 	return obs.Default()
+}
+
+// checkEngine returns the extractor's invariant engine: the WithChecks
+// override when set, otherwise the process-wide engine (nil when
+// disarmed — one atomic load).
+func (e *Extractor) checkEngine() *check.Engine {
+	if e.checks != nil {
+		return e.checks
+	}
+	return check.Active()
 }
 
 // NewExtractor builds the inductance tables for the requested
@@ -214,6 +244,15 @@ func NewExtractorCtx(ctx context.Context, tech Technology, freq float64, axes ta
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: building %v tables: %w", sh, err)
+		}
+		set.Lookup = e.lookup
+		// The build/load paths already audit under the process-wide
+		// engine; a WithChecks override audits again under its own
+		// policy (e.g. Strict here while the process runs Warn).
+		if e.checks != nil && e.checks.Armed() {
+			if err := e.checks.ReportAll(set.Audit()); err != nil {
+				return nil, fmt.Errorf("core: auditing %v tables: %w", sh, err)
+			}
 		}
 		e.tables[sh] = set
 	}
@@ -314,10 +353,59 @@ func (e *Extractor) LoopL(s Segment) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	var lloop float64
 	if s.Shielding == geom.ShieldNone {
-		return ls + (lg+mgg)/2 - 2*msg, nil
+		lloop = ls + (lg+mgg)/2 - 2*msg
+	} else {
+		lloop = ls - 2*msg*msg/(lg+mgg)
 	}
-	return ls - 2*msg*msg/(lg+mgg), nil
+	if eng := e.checkEngine(); eng.Armed() {
+		if err := checkLoopComposition(eng, s, ls, lg, msg, mgg, lloop); err != nil {
+			return 0, err
+		}
+	}
+	return lloop, nil
+}
+
+// checkLoopComposition enforces the physical bounds of a loop
+// composition under an armed engine: the signal↔ground and
+// ground↔ground coupling coefficients must stay below 1, and the
+// composed loop inductance must come out finite and positive. A
+// violation here means the table entries are individually plausible
+// but mutually inconsistent — exactly what a per-value check cannot
+// see.
+func checkLoopComposition(eng *check.Engine, s Segment, ls, lg, msg, mgg, lloop float64) error {
+	subject := fmt.Sprintf("segment (%v, l=%g, ws=%g, wg=%g, s=%g)",
+		s.Shielding, s.Length, s.SignalWidth, s.GroundWidth, s.Spacing)
+	report := func(invariant, detail string) error {
+		return eng.Report(&check.Violation{
+			Stage: check.StageSegment, Invariant: invariant,
+			Subject: subject, Detail: detail,
+		})
+	}
+	if ls > 0 && lg > 0 {
+		if k := math.Abs(msg) / math.Sqrt(ls*lg); k >= 1 {
+			if err := report("signal-ground coupling k < 1",
+				fmt.Sprintf("k = |Msg|/sqrt(Ls*Lg) = %.4g (Msg=%g, Ls=%g, Lg=%g)", k, msg, ls, lg)); err != nil {
+				return err
+			}
+		}
+	}
+	if lg > 0 {
+		if k := math.Abs(mgg) / lg; k >= 1 {
+			if err := report("ground-ground coupling k < 1",
+				fmt.Sprintf("k = |Mgg|/Lg = %.4g (Mgg=%g, Lg=%g)", k, mgg, lg)); err != nil {
+				return err
+			}
+		}
+	}
+	if math.IsNaN(lloop) || math.IsInf(lloop, 0) || lloop <= 0 {
+		if err := report("loop inductance finite and positive",
+			fmt.Sprintf("Lloop = %g (Ls=%g, Lg=%g, Msg=%g, Mgg=%g)", lloop, ls, lg, msg, mgg)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // DirectLoopL solves the full 3-wire (+plane) system with the field

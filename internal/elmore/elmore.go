@@ -11,6 +11,8 @@ package elmore
 import (
 	"fmt"
 	"math"
+
+	"clockrlc/internal/check"
 )
 
 // Line is a driver + distributed line + load configuration: a driver
@@ -21,10 +23,35 @@ type Line struct {
 	Cl      float64 // load capacitance, F
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. NaNs are rejected explicitly: a
+// NaN compares false against every bound, so the sign checks alone
+// would wave a NaN field through into the delay formulas.
 func (l Line) Validate() error {
+	for _, v := range []float64{l.Rd, l.R, l.L, l.C, l.Cl} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("elmore: line has a non-finite field: %+v", l)
+		}
+	}
 	if l.Rd <= 0 || l.R <= 0 || l.C <= 0 || l.Cl < 0 || l.L < 0 {
 		return fmt.Errorf("elmore: line out of range: %+v", l)
+	}
+	return nil
+}
+
+// checkBound reports a closed-form delay bound that came out
+// non-finite or negative through an armed check engine — with a
+// validated line this can only happen if the formula itself is broken
+// or a future refactor changes the equivalent-parameter algebra.
+func checkBound(what string, d float64) error {
+	eng := check.Active()
+	if !eng.Armed() {
+		return nil
+	}
+	if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+		return eng.Report(&check.Violation{
+			Stage: check.StageSim, Invariant: "closed-form delay bound finite and non-negative",
+			Subject: what, Detail: fmt.Sprintf("t50 = %g s", d),
+		})
 	}
 	return nil
 }
@@ -40,7 +67,11 @@ func ElmoreDelay(l Line) (float64, error) {
 		return 0, err
 	}
 	tau := l.Rd*(l.C+l.Cl) + l.R*(l.C/2+l.Cl)
-	return math.Ln2 * tau, nil
+	t50 := math.Ln2 * tau
+	if err := checkBound("ElmoreDelay", t50); err != nil {
+		return 0, err
+	}
+	return t50, nil
 }
 
 // TwoPoleDelay returns the Ismail–Friedman style two-pole estimate of
@@ -72,6 +103,9 @@ func TwoPoleDelay(l Line) (float64, error) {
 	wn := 1 / math.Sqrt(l.L*ct)
 	zeta := rt / 2 * math.Sqrt(ct/l.L)
 	t50 := (math.Exp(-2.9*math.Pow(zeta, 1.35)) + 1.48*zeta) / wn
+	if err := checkBound("TwoPoleDelay", t50); err != nil {
+		return 0, err
+	}
 	return t50, nil
 }
 

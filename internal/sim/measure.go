@@ -4,7 +4,28 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"clockrlc/internal/check"
 )
+
+// checkDelay reports a measured delay that came out non-finite or
+// negative through an armed check engine. A negative source-to-sink
+// delay is physically impossible for these passive RLC networks — the
+// sink cannot lead its driver — so it means the waveforms themselves
+// are wrong (e.g. a diverged integration that slipped through).
+func checkDelay(what string, d float64) error {
+	eng := check.Active()
+	if !eng.Armed() {
+		return nil
+	}
+	if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+		return eng.Report(&check.Violation{
+			Stage: check.StageSim, Invariant: "delay finite and non-negative",
+			Subject: what, Detail: fmt.Sprintf("delay = %g s", d),
+		})
+	}
+	return nil
+}
 
 // CrossTime returns the first time the waveform crosses level in the
 // given direction (rising: from below to at-or-above), using linear
@@ -50,13 +71,24 @@ func Delay50(t, from, to []float64, v0, v1 float64) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("sim: sink waveform: %w", err)
 	}
-	return t2 - t1, nil
+	d := t2 - t1
+	if err := checkDelay("Delay50", d); err != nil {
+		return 0, err
+	}
+	return d, nil
 }
 
 // DelayFromT0 returns the time the waveform first reaches the 50 %
 // level of a v0→v1 transition, measured from t = 0.
 func DelayFromT0(t, v []float64, v0, v1 float64) (float64, error) {
-	return CrossTime(t, v, v0+0.5*(v1-v0), v1 > v0)
+	d, err := CrossTime(t, v, v0+0.5*(v1-v0), v1 > v0)
+	if err != nil {
+		return 0, err
+	}
+	if err := checkDelay("DelayFromT0", d); err != nil {
+		return 0, err
+	}
+	return d, nil
 }
 
 // Overshoot returns the fractional overshoot of a waveform settling to

@@ -1,0 +1,74 @@
+package spline
+
+// Fuzz the precomputed-coefficient Grid.Eval against the recursive
+// reference evaluator it replaced (referenceEval, kept in
+// spline_test.go as the golden implementation). The grid shape, knot
+// positions, values and query point are all derived from fuzzer input,
+// so the equivalence is exercised far off the log-spaced layouts the
+// golden test pins — including the linear extrapolation region.
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzGridEvalReference(f *testing.F) {
+	f.Add(byte(2), byte(3), []byte{10, 200, 30, 40, 7, 99, 120, 3, 250, 18, 64}, 1.5, 2.5)
+	f.Add(byte(4), byte(2), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, -3.0, 100.0)
+	f.Add(byte(3), byte(3), []byte{0}, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, n1, n2 byte, raw []byte, c1, c2 float64) {
+		if math.IsNaN(c1) || math.IsInf(c1, 0) || math.IsNaN(c2) || math.IsInf(c2, 0) {
+			t.Skip("non-finite query point")
+		}
+		na := 2 + int(n1%3) // 2..4 knots per axis
+		nb := 2 + int(n2%3)
+		// Deterministic byte stream, cycling raw so short inputs still
+		// produce full grids.
+		at := 0
+		next := func() byte {
+			if len(raw) == 0 {
+				return 37
+			}
+			b := raw[at%len(raw)]
+			at++
+			return b
+		}
+		axis := func(n int) []float64 {
+			ax := make([]float64, n)
+			x := 0.0
+			for i := range ax {
+				x += 0.25 + float64(next())/64 // strictly increasing steps
+				ax[i] = x
+			}
+			return ax
+		}
+		axes := [][]float64{axis(na), axis(nb)}
+		vals := make([]float64, na*nb)
+		for i := range vals {
+			vals[i] = (float64(next()) - 128) / 16
+		}
+		g, err := NewGrid(axes, vals)
+		if err != nil {
+			t.Fatalf("NewGrid rejected a well-formed grid: %v", err)
+		}
+		// Map the fuzzed query into a window one span wide around each
+		// axis, covering interior, knot-exact and extrapolated points.
+		coord := func(ax []float64, c float64) float64 {
+			lo, hi := ax[0], ax[len(ax)-1]
+			span := hi - lo
+			return lo - span/2 + math.Mod(math.Abs(c), 2*span)
+		}
+		coords := []float64{coord(axes[0], c1), coord(axes[1], c2)}
+		got, err := g.Eval(coords...)
+		if err != nil {
+			t.Fatalf("Eval(%v) failed: %v", coords, err)
+		}
+		want := referenceEval(axes, vals, coords)
+		if math.IsNaN(got) != math.IsNaN(want) {
+			t.Fatalf("Eval(%v) = %g, reference = %g (NaN mismatch)", coords, got, want)
+		}
+		if diff := math.Abs(got - want); diff > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("Eval(%v) = %g, reference = %g (diff %g)", coords, got, want, diff)
+		}
+	})
+}

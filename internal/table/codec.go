@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"clockrlc/internal/check"
 	"clockrlc/internal/spline"
 )
 
@@ -160,17 +161,25 @@ func load(r io.Reader) (*Set, error) {
 
 // Load reads a set previously written by Save, verifying the
 // checksum (v2+) and the value counts against the axes product, and
-// rebuilding the interpolants.
+// rebuilding the interpolants. When the process check engine is
+// armed, the loaded set is additionally audited against the physical
+// invariants — the checksum proves the bytes are the ones saved, the
+// audit proves the values could have come from a correct build.
 func Load(r io.Reader) (*Set, error) {
 	s, err := load(r)
 	if err != nil {
 		return nil, fmt.Errorf("table: %w", err)
 	}
+	if err := s.reportAudit(check.Active()); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
-// LoadFile reads a set from a file path. Every failure names the
-// file, so a bad artifact in a multi-file library is identifiable.
+// LoadFile reads a set from a file path. Every failure — decode,
+// integrity, or (when the check engine is armed) a physical-invariant
+// audit — names the file, so a bad artifact in a multi-file library
+// is identifiable.
 func LoadFile(path string) (*Set, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -179,6 +188,9 @@ func LoadFile(path string) (*Set, error) {
 	defer f.Close()
 	s, err := load(f)
 	if err != nil {
+		return nil, fmt.Errorf("table: %s: %w", path, err)
+	}
+	if err := s.reportAudit(check.Active()); err != nil {
 		return nil, fmt.Errorf("table: %s: %w", path, err)
 	}
 	return s, nil

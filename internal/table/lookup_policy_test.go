@@ -1,0 +1,157 @@
+package table
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"clockrlc/internal/check"
+	"clockrlc/internal/units"
+)
+
+func TestParseLookupPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want LookupPolicy
+	}{
+		{"extrapolate", LookupExtrapolate}, {"clamp", LookupClamp},
+		{"error", LookupError}, {"Clamp", LookupClamp}, {"ERROR", LookupError},
+	} {
+		got, err := ParseLookupPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseLookupPolicy(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseLookupPolicy("truncate"); err == nil {
+		t.Error("ParseLookupPolicy accepted an unknown policy")
+	}
+	for p, want := range map[LookupPolicy]string{
+		LookupExtrapolate: "extrapolate", LookupClamp: "clamp", LookupError: "error",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+func TestLookupPolicyExtrapolateDefault(t *testing.T) {
+	s := syntheticSet(t)
+	oobW := 2 * s.Axes.Widths[len(s.Axes.Widths)-1]
+	l := s.Axes.Lengths[1]
+	clampedBefore := lookupClamped.Value()
+	extrapBefore := lookupOOBExtrapolated.Value()
+	v, err := s.SelfL(oobW, l)
+	if err != nil {
+		t.Fatalf("default-policy OOB lookup failed: %v", err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("extrapolated value %g not finite", v)
+	}
+	if lookupClamped.Value() != clampedBefore+1 {
+		t.Error("OOB lookup did not advance table.lookup_clamped (backward-compat counter)")
+	}
+	if lookupOOBExtrapolated.Value() != extrapBefore+1 {
+		t.Error("OOB lookup did not advance table.lookup_oob_extrapolated")
+	}
+}
+
+func TestLookupPolicyClamp(t *testing.T) {
+	s := syntheticSet(t)
+	s.Lookup = LookupClamp
+	wMax := s.Axes.Widths[len(s.Axes.Widths)-1]
+	l := s.Axes.Lengths[1]
+	clampsBefore := lookupOOBClamps.Value()
+	got, err := s.SelfL(3*wMax, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.SelfL(wMax, l) // in range: the clamped coordinate
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("clamped lookup %g != endpoint lookup %g", got, want)
+	}
+	if lookupOOBClamps.Value() != clampsBefore+1 {
+		t.Error("clamped lookup not counted in table.lookup_oob_clamps")
+	}
+
+	// Mutual path clamps every coordinate.
+	sMax := s.Axes.Spacings[len(s.Axes.Spacings)-1]
+	gotM, err := s.MutualL(3*wMax, s.Axes.Widths[0], 4*sMax, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantM, err := s.MutualL(wMax, s.Axes.Widths[0], sMax, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotM != wantM {
+		t.Errorf("clamped mutual %g != endpoint mutual %g", gotM, wantM)
+	}
+}
+
+func TestLookupPolicyError(t *testing.T) {
+	s := syntheticSet(t)
+	s.Lookup = LookupError
+	errsBefore := lookupOOBErrors.Value()
+	_, err := s.SelfL(units.Um(100), s.Axes.Lengths[0])
+	if err == nil {
+		t.Fatal("error-policy OOB lookup returned nil error")
+	}
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("%v does not unwrap to ErrOutOfRange", err)
+	}
+	for _, frag := range []string{"m6/synthetic", "SelfL", "w ∈"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q missing %q", err.Error(), frag)
+		}
+	}
+	if lookupOOBErrors.Value() != errsBefore+1 {
+		t.Error("refused lookup not counted in table.lookup_oob_errors")
+	}
+	if _, err := s.MutualL(s.Axes.Widths[0], s.Axes.Widths[0], units.Um(50), s.Axes.Lengths[0]); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("mutual OOB under error policy: %v", err)
+	}
+	// In-range lookups are unaffected by the policy.
+	if _, err := s.SelfL(s.Axes.Widths[1], s.Axes.Lengths[1]); err != nil {
+		t.Errorf("in-range lookup failed under error policy: %v", err)
+	}
+}
+
+// Armed lookups check the value itself: a table whose spline yields a
+// non-positive self inductance is caught at lookup time.
+func TestArmedLookupCatchesNonPositiveSelf(t *testing.T) {
+	defer check.SetPolicy(check.Off)
+	s := syntheticSet(t)
+	nl := len(s.Axes.Lengths)
+	for il := 0; il < nl; il++ {
+		s.Self.Vals[1*nl+il] = -1e-12
+	}
+	rebuildSelf(t, s)
+	w, l := s.Axes.Widths[1], s.Axes.Lengths[1]
+
+	check.SetPolicy(check.Off)
+	if _, err := s.SelfL(w, l); err != nil {
+		t.Fatalf("disarmed lookup errored: %v", err)
+	}
+
+	check.SetPolicy(check.Warn)
+	before := check.StageViolations(check.StageLookup)
+	if _, err := s.SelfL(w, l); err != nil {
+		t.Fatalf("warn lookup errored: %v", err)
+	}
+	if check.StageViolations(check.StageLookup) <= before {
+		t.Error("warn lookup did not count the violation")
+	}
+
+	check.SetPolicy(check.Strict)
+	_, err := s.SelfL(w, l)
+	if err == nil {
+		t.Fatal("strict lookup accepted a non-positive self inductance")
+	}
+	if !errors.Is(err, check.ErrViolation) {
+		t.Errorf("%v does not unwrap to check.ErrViolation", err)
+	}
+}

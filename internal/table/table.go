@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"time"
 
+	"clockrlc/internal/check"
 	"clockrlc/internal/fault"
 	"clockrlc/internal/geom"
 	"clockrlc/internal/loop"
@@ -46,11 +48,70 @@ var (
 	lookupHits    = obs.GetCounter("table.lookup_hits")
 	lookupClamped = obs.GetCounter("table.lookup_clamped")
 	buildTimeHist = obs.GetHistogram("table.build_seconds")
+
+	// Per-policy accounting of the out-of-range lookups themselves.
+	// lookup_clamped above keeps its PR 1 meaning — every out-of-range
+	// lookup, whatever the policy did about it — so existing dashboards
+	// and the rlcx warning stay accurate; the three counters below
+	// split that total by outcome.
+	lookupOOBExtrapolated = obs.GetCounter("table.lookup_oob_extrapolated")
+	lookupOOBClamps       = obs.GetCounter("table.lookup_oob_clamps")
+	lookupOOBErrors       = obs.GetCounter("table.lookup_oob_errors")
 )
 
 // ClampedLookups returns the process-wide count of table lookups that
-// fell outside the built axes and were linearly extrapolated.
+// fell outside the built axes (whatever the lookup policy did about
+// them).
 func ClampedLookups() int64 { return lookupClamped.Value() }
+
+// ErrOutOfRange is the sentinel a LookupError-policy lookup unwraps
+// to when its coordinates fall outside the built axes.
+var ErrOutOfRange = errors.New("table: lookup outside built axes")
+
+// LookupPolicy selects what an out-of-range lookup does. Every
+// out-of-range lookup is counted (table.lookup_clamped plus the
+// per-outcome counters) under every policy — the policies differ only
+// in the value returned.
+type LookupPolicy int
+
+const (
+	// LookupExtrapolate (the default, and the pre-existing behaviour)
+	// lets the spline extrapolate its end slope linearly — accurate
+	// only mildly beyond the grid, per the paper's usage.
+	LookupExtrapolate LookupPolicy = iota
+	// LookupClamp clamps each coordinate to the nearest axis endpoint
+	// and interpolates there, bounding the answer by the table's range.
+	LookupClamp
+	// LookupError refuses the lookup with an error unwrapping to
+	// ErrOutOfRange that names the offending coordinates and axes.
+	LookupError
+)
+
+func (p LookupPolicy) String() string {
+	switch p {
+	case LookupExtrapolate:
+		return "extrapolate"
+	case LookupClamp:
+		return "clamp"
+	case LookupError:
+		return "error"
+	}
+	return fmt.Sprintf("LookupPolicy(%d)", int(p))
+}
+
+// ParseLookupPolicy parses the -lookup-policy flag values
+// "extrapolate", "clamp" and "error" (case-insensitive).
+func ParseLookupPolicy(s string) (LookupPolicy, error) {
+	switch strings.ToLower(s) {
+	case "extrapolate":
+		return LookupExtrapolate, nil
+	case "clamp":
+		return LookupClamp, nil
+	case "error":
+		return LookupError, nil
+	}
+	return LookupExtrapolate, fmt.Errorf("table: bad lookup policy %q (want extrapolate, clamp or error)", s)
+}
 
 // Config identifies the extraction context a table set is built for.
 type Config struct {
@@ -127,6 +188,7 @@ func (c Config) Validate() error {
 	}
 	if c.Shielding != geom.ShieldNone {
 		if math.IsNaN(c.PlaneGap) || math.IsNaN(c.PlaneThickness) ||
+			math.IsInf(c.PlaneGap, 0) || math.IsInf(c.PlaneThickness, 0) ||
 			c.PlaneGap <= 0 || c.PlaneThickness <= 0 {
 			return fmt.Errorf("table: %v configuration needs PlaneGap and PlaneThickness", c.Shielding)
 		}
@@ -206,6 +268,11 @@ type Set struct {
 	// Self is indexed (width, length); Mutual (w1, w2, spacing,
 	// length). Values in henries.
 	Self, Mutual *spline.Grid
+	// Lookup selects what out-of-range lookups do (the zero value,
+	// LookupExtrapolate, is the pre-existing behaviour). Set it before
+	// sharing the Set across goroutines; it is not persisted by the
+	// codec.
+	Lookup LookupPolicy
 }
 
 // Build sweeps the numerical engine over the axes and assembles the
@@ -346,6 +413,13 @@ func BuildCtx(ctx context.Context, cfg Config, axes Axes, o *obs.Observer) (*Set
 	if err != nil {
 		return nil, err
 	}
+	// Post-build audit: when the process check engine is armed, a
+	// freshly built set that already violates a physical invariant is
+	// counted (Warn) or rejected before anything downstream can consume
+	// it (Strict).
+	if err := s.reportAudit(check.Active()); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -468,8 +542,23 @@ func countLookup(ok bool) {
 	}
 }
 
-// SelfL looks up (interpolating, mildly extrapolating) the self
-// inductance for a trace of width w and length l.
+// clampTo clamps v to the axis' built range.
+func clampTo(ax []float64, v float64) float64 {
+	if v < ax[0] {
+		return ax[0]
+	}
+	if last := ax[len(ax)-1]; v > last {
+		return last
+	}
+	return v
+}
+
+// SelfL looks up the self inductance for a trace of width w and
+// length l. Coordinates outside the built axes are handled per
+// s.Lookup: extrapolated (default), clamped to the axis endpoints, or
+// refused with an error unwrapping to ErrOutOfRange — each outcome
+// counted. When the process check engine is armed, the looked-up value
+// itself is checked finite and positive.
 func (s *Set) SelfL(w, l float64) (float64, error) {
 	if w <= 0 || l <= 0 {
 		return 0, fmt.Errorf("table: SelfL arguments must be positive (w=%g, l=%g)", w, l)
@@ -477,12 +566,45 @@ func (s *Set) SelfL(w, l float64) (float64, error) {
 	if err := fault.Check(fault.SplineLookup); err != nil {
 		return 0, err
 	}
-	countLookup(inRange(s.Axes.Widths, w) && inRange(s.Axes.Lengths, l))
-	return s.Self.Eval(w, l)
+	ok := inRange(s.Axes.Widths, w) && inRange(s.Axes.Lengths, l)
+	countLookup(ok)
+	if !ok {
+		switch s.Lookup {
+		case LookupError:
+			lookupOOBErrors.Inc()
+			return 0, fmt.Errorf("table: SelfL(w=%g, l=%g) outside table %q axes (w ∈ [%g, %g], l ∈ [%g, %g]): %w",
+				w, l, s.Config.Name, s.Axes.Widths[0], s.Axes.Widths[len(s.Axes.Widths)-1],
+				s.Axes.Lengths[0], s.Axes.Lengths[len(s.Axes.Lengths)-1], ErrOutOfRange)
+		case LookupClamp:
+			lookupOOBClamps.Inc()
+			w, l = clampTo(s.Axes.Widths, w), clampTo(s.Axes.Lengths, l)
+		default:
+			lookupOOBExtrapolated.Inc()
+		}
+	}
+	v, err := s.Self.Eval(w, l)
+	if err != nil {
+		return 0, err
+	}
+	if e := check.Active(); e.Armed() {
+		if !finite(v) || v <= 0 {
+			if err := e.Report(&check.Violation{
+				Stage: check.StageLookup, Invariant: "self inductance finite and positive",
+				Subject: fmt.Sprintf("table %q", s.Config.Name),
+				Cell:    fmt.Sprintf("SelfL(w=%g, l=%g)", w, l),
+				Detail:  fmt.Sprintf("L = %g", v),
+			}); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return v, nil
 }
 
 // MutualL looks up the mutual inductance between parallel traces of
 // widths w1 and w2, edge-to-edge spacing sp, common length l.
+// Out-of-range coordinates follow s.Lookup as in SelfL; armed checks
+// require the value finite and non-negative.
 func (s *Set) MutualL(w1, w2, sp, l float64) (float64, error) {
 	if w1 <= 0 || w2 <= 0 || sp <= 0 || l <= 0 {
 		return 0, fmt.Errorf("table: MutualL arguments must be positive (w1=%g, w2=%g, s=%g, l=%g)", w1, w2, sp, l)
@@ -490,7 +612,41 @@ func (s *Set) MutualL(w1, w2, sp, l float64) (float64, error) {
 	if err := fault.Check(fault.SplineLookup); err != nil {
 		return 0, err
 	}
-	countLookup(inRange(s.Axes.Widths, w1) && inRange(s.Axes.Widths, w2) &&
-		inRange(s.Axes.Spacings, sp) && inRange(s.Axes.Lengths, l))
-	return s.Mutual.Eval(w1, w2, sp, l)
+	ok := inRange(s.Axes.Widths, w1) && inRange(s.Axes.Widths, w2) &&
+		inRange(s.Axes.Spacings, sp) && inRange(s.Axes.Lengths, l)
+	countLookup(ok)
+	if !ok {
+		switch s.Lookup {
+		case LookupError:
+			lookupOOBErrors.Inc()
+			return 0, fmt.Errorf("table: MutualL(w1=%g, w2=%g, s=%g, l=%g) outside table %q axes (w ∈ [%g, %g], s ∈ [%g, %g], l ∈ [%g, %g]): %w",
+				w1, w2, sp, l, s.Config.Name,
+				s.Axes.Widths[0], s.Axes.Widths[len(s.Axes.Widths)-1],
+				s.Axes.Spacings[0], s.Axes.Spacings[len(s.Axes.Spacings)-1],
+				s.Axes.Lengths[0], s.Axes.Lengths[len(s.Axes.Lengths)-1], ErrOutOfRange)
+		case LookupClamp:
+			lookupOOBClamps.Inc()
+			w1, w2 = clampTo(s.Axes.Widths, w1), clampTo(s.Axes.Widths, w2)
+			sp, l = clampTo(s.Axes.Spacings, sp), clampTo(s.Axes.Lengths, l)
+		default:
+			lookupOOBExtrapolated.Inc()
+		}
+	}
+	v, err := s.Mutual.Eval(w1, w2, sp, l)
+	if err != nil {
+		return 0, err
+	}
+	if e := check.Active(); e.Armed() {
+		if !finite(v) || v < 0 {
+			if err := e.Report(&check.Violation{
+				Stage: check.StageLookup, Invariant: "mutual inductance finite and non-negative",
+				Subject: fmt.Sprintf("table %q", s.Config.Name),
+				Cell:    fmt.Sprintf("MutualL(w1=%g, w2=%g, s=%g, l=%g)", w1, w2, sp, l),
+				Detail:  fmt.Sprintf("M = %g", v),
+			}); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return v, nil
 }

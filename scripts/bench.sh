@@ -108,3 +108,32 @@ END {
 
 echo "wrote $fault_out:"
 cat "$fault_out"
+
+# Check pass: re-measures the hot lookup with the physical-invariant
+# layer compiled in. Disarmed (the default) every lookup crosses one
+# check.Active() atomic pointer load, so lookup_vs_base must be
+# run-to-run noise (~1.00) — drift past a few percent means the
+# disarmed hook stopped being free. The armed-warn number prices the
+# actual finite/positive result checks for users who keep -check=warn
+# on in production. Written to BENCH_check.json.
+check_out=BENCH_check.json
+
+# min over -count runs on both sides: single 2s samples on this class
+# of host swing ±15%, which would drown the signal being asserted.
+check_raw=$(go test -run '^$' -bench 'BenchmarkE10TableLookup(Checked)?$' -benchtime 1s -count 3 .)
+echo "$check_raw"
+
+{ echo "$check_raw"; echo "BASE_lookup $raw_lookup"; } | awk '
+/^BenchmarkE10TableLookupChecked/ { if (armed == 0 || $3 < armed) armed = $3; next }
+/^BenchmarkE10TableLookup/        { if (lookup == 0 || $3 < lookup) lookup = $3 }
+/^BASE_lookup/                    { base_lookup = $2 }
+END {
+  if (lookup == 0 || armed == 0 || base_lookup == "") {
+    print "bench.sh: missing check benchmark output" > "/dev/stderr"
+    exit 1
+  }
+  printf "{\n  \"table_lookup_ns_per_op\": %d,\n  \"table_lookup_checked_ns_per_op\": %d,\n  \"lookup_vs_base\": %.3f,\n  \"armed_vs_disarmed\": %.3f\n}\n", lookup, armed, lookup / base_lookup, armed / lookup
+}' >"$check_out"
+
+echo "wrote $check_out:"
+cat "$check_out"
