@@ -1,13 +1,15 @@
 GO ?= go
 
-.PHONY: all tier1 vet build test race roundtrip chaos fuzz bench bench-obs clean
+.PHONY: all tier1 vet build test race roundtrip chaos fuzz bench bench-obs bench-check clean
 
 all: tier1
 
 # tier1 is the repository's gating check: vet, build, full test suite
 # under the race detector, the persistence round-trip gate, the
 # fault-injection chaos matrix, and a short randomised fuzz pass over
-# the input gates.
+# the input gates. Performance is gated separately: `make bench-obs
+# bench-check` re-measures the BENCH_*.json hot-path numbers and fails
+# if any metric regresses >10% against the committed bench/baseline.
 tier1: vet build race roundtrip chaos fuzz
 
 vet:
@@ -55,10 +57,20 @@ bench:
 
 # bench-obs runs the short hot-path pass guarding the instrumentation
 # layer's no-overhead requirement and writes BENCH_obs.json plus the
-# spline-lookup/parallel-build numbers in BENCH_spline.json and the
-# cold-vs-cache-hit extractor construction numbers in BENCH_cache.json.
+# spline-lookup/parallel-build numbers in BENCH_spline.json, the
+# cold-vs-cache-hit extractor construction numbers in BENCH_cache.json,
+# the fault/check-layer ratios, and the ctx-span trace-overhead numbers
+# in BENCH_trace.json.
 bench-obs:
 	./scripts/bench.sh
 
+# bench-check is the regression gate: compares the freshly measured
+# BENCH_*.json files (run `make bench-obs` first) against the committed
+# baselines and fails when any metric drifts >10% the wrong way. After
+# an intentional perf change, refresh the baselines with:
+#   make bench-obs && cp BENCH_*.json bench/baseline/
+bench-check:
+	$(GO) run ./cmd/benchdiff -baseline bench/baseline -current .
+
 clean:
-	rm -f BENCH_obs.json BENCH_spline.json BENCH_cache.json BENCH_fault.json BENCH_check.json
+	rm -f BENCH_obs.json BENCH_spline.json BENCH_cache.json BENCH_fault.json BENCH_check.json BENCH_trace.json

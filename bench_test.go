@@ -7,6 +7,7 @@
 package clockrlc_test
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"clockrlc/internal/check"
 	"clockrlc/internal/core"
 	"clockrlc/internal/geom"
+	"clockrlc/internal/obs"
 	"clockrlc/internal/paper"
 	"clockrlc/internal/peec"
 	"clockrlc/internal/table"
@@ -183,6 +185,44 @@ func BenchmarkE10TableLookupChecked(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.LoopL(seg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10TableLookupCtx is the same composition through the
+// context-propagated entry point with tracing disarmed (the default).
+// StartCtx costs one atomic load and returns the context unchanged
+// here, so this number must stay indistinguishable from
+// BenchmarkE10TableLookup — scripts/bench.sh records the ratio in
+// BENCH_trace.json.
+func BenchmarkE10TableLookupCtx(b *testing.B) {
+	e := benchExtractor(b)
+	seg := paper.Fig1Segment()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.LoopLCtx(ctx, seg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10TableLookupTraced arms the process-default observer with
+// a discarding sink, so the full armed span path (id allocation, event
+// emission, context plumbing) is priced per lookup next to the free
+// disarmed number.
+func BenchmarkE10TableLookupTraced(b *testing.B) {
+	e := benchExtractor(b)
+	seg := paper.Fig1Segment()
+	sink := obs.NopSink{}
+	obs.Default().AddSink(sink)
+	defer obs.Default().RemoveSink(sink)
+	ctx, root := obs.StartCtx(context.Background(), "bench")
+	defer root.End()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.LoopLCtx(ctx, seg); err != nil {
 			b.Fatal(err)
 		}
 	}

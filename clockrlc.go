@@ -560,6 +560,32 @@ func ResetMetrics() { obs.DefaultRegistry().Reset() }
 // standard expvar endpoint (/debug/vars) under the key "clockrlc".
 func PublishMetricsExpvar() { obs.PublishExpvar() }
 
+// StartSpanCtx begins a span on the default observer parented to the
+// span carried by ctx, returning a derived context carrying the new
+// span — the concurrency-correct way to trace around the *Ctx entry
+// points (NewExtractorCtx, BuildTablesCtx, TransientCtx, ...), which
+// all propagate the context's span into their own sub-spans. With no
+// sink attached this is one atomic load and returns ctx unchanged.
+func StartSpanCtx(ctx context.Context, name string) (context.Context, ObsSpan) {
+	return obs.StartCtx(ctx, name)
+}
+
+// ContextWithSpan returns ctx carrying sp as the parent for
+// StartSpanCtx spans started under it.
+func ContextWithSpan(ctx context.Context, sp ObsSpan) context.Context {
+	return obs.ContextWithSpan(ctx, sp)
+}
+
+// SpanFromContext returns the span carried by ctx (a zero, disabled
+// span when none).
+func SpanFromContext(ctx context.Context) ObsSpan { return obs.SpanFromContext(ctx) }
+
+// SampleRuntimeMetrics records the Go runtime's self-metrics (heap,
+// GC, goroutine count) into the process-wide registry as
+// runtime.* gauges; see also the periodic sampler every cmd starts
+// alongside -trace/-metrics/-pprof.
+func SampleRuntimeMetrics() { obs.SampleRuntime(obs.DefaultRegistry()) }
+
 // ClampedTableLookups reports how many table lookups fell outside the
 // built axes and were answered by spline extrapolation — nonzero
 // values mean the table axes should be widened for this design.

@@ -1,0 +1,139 @@
+// Command benchdiff is the bench regression gate: it compares the
+// BENCH_*.json files written by scripts/bench.sh against committed
+// baselines and exits non-zero when any metric regresses past the
+// threshold. It understands metric direction by name — "speedup"
+// metrics are higher-is-better, everything else (ns_per_op, overhead
+// ratios) is lower-is-better — and skips host-descriptor keys like
+// cpu_cores that are facts, not performance.
+//
+// Example (what `make bench-check` runs):
+//
+//	scripts/bench.sh
+//	benchdiff -baseline bench/baseline -current .
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "bench/baseline", "directory holding committed BENCH_*.json baselines")
+		current   = flag.String("current", ".", "directory holding freshly measured BENCH_*.json files")
+		threshold = flag.Float64("threshold", 0.10, "relative regression tolerance (0.10 = 10%)")
+	)
+	flag.Parse()
+	regressions, err := diff(os.Stdout, *baseline, *current, *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if regressions > 0 {
+		fmt.Printf("\nbenchdiff: %d metric(s) regressed past %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: all metrics within %.0f%% of baseline\n", *threshold*100)
+}
+
+// skipKeys are host descriptors recorded alongside the measurements;
+// they describe the machine, not the code, and never gate.
+var skipKeys = map[string]bool{"cpu_cores": true}
+
+// higherIsBetter reports whether a larger value of the named metric is
+// an improvement.
+func higherIsBetter(key string) bool {
+	return strings.Contains(key, "speedup")
+}
+
+// diff compares every BENCH_*.json present in baselineDir against its
+// counterpart in currentDir, writing a per-metric table to w. It
+// returns the number of regressed metrics. A baseline file or metric
+// with no current counterpart counts as a regression — a silently
+// vanished benchmark must not pass the gate.
+func diff(w io.Writer, baselineDir, currentDir string, threshold float64) (int, error) {
+	baseFiles, err := filepath.Glob(filepath.Join(baselineDir, "BENCH_*.json"))
+	if err != nil {
+		return 0, err
+	}
+	if len(baseFiles) == 0 {
+		return 0, fmt.Errorf("no BENCH_*.json baselines in %s", baselineDir)
+	}
+	sort.Strings(baseFiles)
+
+	regressions := 0
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "file\tmetric\tbaseline\tcurrent\tchange\tstatus\n")
+	for _, bf := range baseFiles {
+		name := filepath.Base(bf)
+		base, err := loadMetrics(bf)
+		if err != nil {
+			return 0, fmt.Errorf("baseline %s: %w", name, err)
+		}
+		cur, err := loadMetrics(filepath.Join(currentDir, name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				regressions++
+				fmt.Fprintf(tw, "%s\t(all)\t\t\t\tMISSING — run scripts/bench.sh\n", name)
+				continue
+			}
+			return 0, fmt.Errorf("current %s: %w", name, err)
+		}
+		keys := make([]string, 0, len(base))
+		for k := range base {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if skipKeys[k] {
+				continue
+			}
+			bv := base[k]
+			cv, ok := cur[k]
+			if !ok {
+				regressions++
+				fmt.Fprintf(tw, "%s\t%s\t%g\t\t\tMISSING\n", name, k, bv)
+				continue
+			}
+			if bv == 0 {
+				fmt.Fprintf(tw, "%s\t%s\t%g\t%g\t\tskipped (zero baseline)\n", name, k, bv, cv)
+				continue
+			}
+			change := cv/bv - 1
+			bad := change > threshold
+			if higherIsBetter(k) {
+				bad = change < -threshold
+			}
+			status := "ok"
+			if bad {
+				status = "REGRESSED"
+				regressions++
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%g\t%g\t%+.1f%%\t%s\n", name, k, bv, cv, change*100, status)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return 0, err
+	}
+	return regressions, nil
+}
+
+// loadMetrics reads one flat BENCH json object of numeric metrics.
+func loadMetrics(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := map[string]float64{}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return m, nil
+}

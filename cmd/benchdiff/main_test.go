@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffDirectionRules(t *testing.T) {
+	base := t.TempDir()
+	cur := t.TempDir()
+	writeJSON(t, base, "BENCH_x.json",
+		`{"lookup_ns_per_op": 1000, "build_speedup": 2.0, "cpu_cores": 1}`)
+
+	// Within threshold both directions: ns/op +5%, speedup -5%.
+	writeJSON(t, cur, "BENCH_x.json",
+		`{"lookup_ns_per_op": 1050, "build_speedup": 1.9, "cpu_cores": 64}`)
+	var buf bytes.Buffer
+	n, err := diff(&buf, base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("within-threshold diff reported %d regressions:\n%s", n, buf.String())
+	}
+	if strings.Contains(buf.String(), "cpu_cores") {
+		t.Error("cpu_cores was compared; host descriptors must be skipped")
+	}
+
+	// ns/op up 20% regresses; speedup up 20% does not.
+	writeJSON(t, cur, "BENCH_x.json",
+		`{"lookup_ns_per_op": 1200, "build_speedup": 2.4, "cpu_cores": 1}`)
+	buf.Reset()
+	n, err = diff(&buf, base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("ns/op +20%% reported %d regressions, want 1:\n%s", n, buf.String())
+	}
+
+	// Speedup down 20% regresses; ns/op down 20% does not.
+	writeJSON(t, cur, "BENCH_x.json",
+		`{"lookup_ns_per_op": 800, "build_speedup": 1.6, "cpu_cores": 1}`)
+	buf.Reset()
+	n, err = diff(&buf, base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("speedup -20%% reported %d regressions, want 1:\n%s", n, buf.String())
+	}
+}
+
+func TestDiffMissingIsRegression(t *testing.T) {
+	base := t.TempDir()
+	cur := t.TempDir()
+	writeJSON(t, base, "BENCH_a.json", `{"m": 1}`)
+	writeJSON(t, base, "BENCH_b.json", `{"kept": 1, "dropped": 2}`)
+	writeJSON(t, cur, "BENCH_b.json", `{"kept": 1}`)
+
+	var buf bytes.Buffer
+	n, err := diff(&buf, base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BENCH_a.json absent entirely + metric "dropped" absent: 2.
+	if n != 2 {
+		t.Fatalf("got %d regressions, want 2 (missing file + missing metric):\n%s", n, buf.String())
+	}
+	// Extra current-only metrics are fine (new benches land before
+	// their baselines).
+	writeJSON(t, cur, "BENCH_a.json", `{"m": 1, "brand_new": 9}`)
+	writeJSON(t, cur, "BENCH_b.json", `{"kept": 1, "dropped": 2}`)
+	buf.Reset()
+	if n, err = diff(&buf, base, cur, 0.10); err != nil || n != 0 {
+		t.Fatalf("clean diff: n=%d err=%v\n%s", n, err, buf.String())
+	}
+}
+
+func TestDiffNoBaselines(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := diff(&buf, t.TempDir(), t.TempDir(), 0.10); err == nil {
+		t.Fatal("empty baseline dir did not error")
+	}
+}
+
+func TestDiffRepoBaselinesParse(t *testing.T) {
+	// The committed baselines themselves must stay loadable.
+	files, err := filepath.Glob(filepath.Join("..", "..", "bench", "baseline", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no committed baselines under bench/baseline")
+	}
+	for _, f := range files {
+		if _, err := loadMetrics(f); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+}

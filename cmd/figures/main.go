@@ -36,7 +36,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(cliobs.ExitFailure)
 	}
-	err = run(sd.Context(), *exp, *csv, *samples)
+	err = run(sess.Context(sd.Context()), *exp, *csv, *samples)
 	sess.Close()
 	sd.Stop()
 	if err != nil {

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clockrlc/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestReportGolden runs the full report over a committed fixture trace
+// — a parallel table build with a straggler cell — and compares the
+// output byte-for-byte against the committed golden.
+func TestReportGolden(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "parallel_build.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report(&buf, events, 10, true); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "parallel_build.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report output differs from golden (run with -update to regenerate)\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestReportFixtureInvariants pins the load-bearing facts the golden
+// encodes, so a -update run can't silently bless a broken analysis.
+func TestReportFixtureInvariants(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "parallel_build.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.BuildTrace(events)
+	if len(tr.Orphans) != 0 || len(tr.Unended) != 0 {
+		t.Fatalf("fixture has %d orphans, %d unended; want 0, 0", len(tr.Orphans), len(tr.Unended))
+	}
+	if len(tr.Roots) != 1 || tr.Roots[0].Name != "tablegen" {
+		t.Fatalf("fixture roots = %v", tr.Roots)
+	}
+	// The critical path must follow the straggler cell, not the
+	// earlier-finishing extract branch.
+	path := tr.CriticalPath()
+	var names []string
+	for _, sp := range path {
+		names = append(names, sp.Name)
+	}
+	want := "tablegen > table.build > table.self_cell"
+	if got := strings.Join(names, " > "); got != want {
+		t.Errorf("critical path = %s, want %s", got, want)
+	}
+	// Wall time is the root span's duration; the path head must match
+	// it exactly (it IS the root).
+	if path[0].Dur != tr.Roots[0].Dur {
+		t.Errorf("critical path head dur %v != root dur %v", path[0].Dur, tr.Roots[0].Dur)
+	}
+	// Self-time ranking: the 8 parallel self cells dominate.
+	agg := tr.Aggregate()
+	if agg[0].Name != "table.self_cell" || agg[0].Count != 8 {
+		t.Errorf("top stage = %s ×%d, want table.self_cell ×8", agg[0].Name, agg[0].Count)
+	}
+}
+
+func TestReportEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report(&buf, nil, 10, true); err == nil {
+		t.Fatal("report on empty trace did not error")
+	}
+}

@@ -52,7 +52,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rlcx:", err)
 		os.Exit(cliobs.ExitFailure)
 	}
-	err = run(sd.Context(), *length, *wsig, *wgnd, *space, *shield, *thickness, *capHeight,
+	err = run(sess.Context(sd.Context()), *length, *wsig, *wgnd, *space, *shield, *thickness, *capHeight,
 		*tr, *tablePath, *cacheDir, *doNetlist, *sections, *lookupPol)
 	sess.Close()
 	sd.Stop()
@@ -118,7 +118,7 @@ func run(ctx context.Context, length, wsig, wgnd, space float64, shield string, 
 		Spacing:     units.Um(space),
 		Shielding:   sh,
 	}
-	rlc, err := ext.SegmentRLC(seg)
+	rlc, err := ext.SegmentRLCCtx(ctx, seg)
 	if err != nil {
 		return err
 	}
@@ -127,7 +127,7 @@ func run(ctx context.Context, length, wsig, wgnd, space float64, shield string, 
 	fmt.Printf("  R = %8.3f Ω   (analytic, skin-corrected at %.2f GHz)\n", rlc.R, freq/1e9)
 	fmt.Printf("  L = %8.4f nH  (table-composed loop inductance)\n", units.ToNH(rlc.L))
 	fmt.Printf("  C = %8.2f fF  (area+fringe+grounded lateral coupling)\n", units.ToFF(rlc.C))
-	direct, err := ext.DirectLoopL(seg)
+	direct, err := ext.DirectLoopLCtx(ctx, seg)
 	if err != nil {
 		return err
 	}
@@ -136,7 +136,7 @@ func run(ctx context.Context, length, wsig, wgnd, space float64, shield string, 
 	// Formulate the distributed ladder under its own span (printed only
 	// with -netlist, but always built so a trace shows the full
 	// extract → lookup → cascade pipeline).
-	sp := obs.Start("cascade")
+	_, sp := obs.StartCtx(ctx, "cascade")
 	nl := netlist.New()
 	_, err = nl.AddLadder("seg", "in", "out", rlc, sections)
 	sp.SetAttr("sections", sections)

@@ -59,7 +59,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tablegen:", err)
 		os.Exit(cliobs.ExitFailure)
 	}
-	err = run(sd.Context(), *out, *name, *thickness, *rhoName, *shield, *planeGap, *planeT,
+	err = run(sess.Context(sd.Context()), *out, *name, *thickness, *rhoName, *shield, *planeGap, *planeT,
 		*tr, *wmin, *wmax, *nw, *smin, *smax, *ns, *lmin, *lmax, *nl, *workers, *cacheDir)
 	sess.Close()
 	sd.Stop()

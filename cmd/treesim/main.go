@@ -47,7 +47,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "treesim:", err)
 		os.Exit(cliobs.ExitFailure)
 	}
-	err = run(sd.Context(), *levels, *span, *wsig, *wgnd, *space, *shield, *tr, *rdrv, *cin, *imbalance, *cacheDir, *lookupPol)
+	err = run(sess.Context(sd.Context()), *levels, *span, *wsig, *wgnd, *space, *shield, *tr, *rdrv, *cin, *imbalance, *cacheDir, *lookupPol)
 	sess.Close()
 	sd.Stop()
 	if err != nil {
@@ -118,7 +118,7 @@ func run(ctx context.Context, levels int, span, wsig, wgnd, space float64, shiel
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		arr, err := tree.Arrivals(clocktree.SimOptions{WithL: withL, LeafLoadScale: loads})
+		arr, err := tree.ArrivalsCtx(ctx, clocktree.SimOptions{WithL: withL, LeafLoadScale: loads})
 		if err != nil {
 			return err
 		}

@@ -43,7 +43,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wiresize:", err)
 		os.Exit(cliobs.ExitFailure)
 	}
-	err = run(sd.Context(), *length, *pitch, *wgnd, *rdrv, *cload, *tr, *wmin, *wmax, *nCand, !*noL)
+	err = run(sess.Context(sd.Context()), *length, *pitch, *wgnd, *rdrv, *cload, *tr, *wmin, *wmax, *nCand, !*noL)
 	sess.Close()
 	sd.Stop()
 	if err != nil {

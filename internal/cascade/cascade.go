@@ -28,6 +28,7 @@
 package cascade
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -235,7 +236,14 @@ func (t *Tree) SegmentLoopL(i int, f float64) (float64, error) {
 // parallel (all sinks are shorted ends of the loop). For Fig. 6(a)
 // this reproduces Lab + (Lbc + Lce) ∥ (Lbd + Ldf).
 func (t *Tree) CascadedLoopL(f float64) (float64, error) {
-	sp := obs.Start("cascade.cascaded_loop_l")
+	return t.CascadedLoopLCtx(context.Background(), f)
+}
+
+// CascadedLoopLCtx is CascadedLoopL with its span parented through
+// ctx (obs.StartCtx) — the concurrency-correct form when several
+// trees reduce in parallel.
+func (t *Tree) CascadedLoopLCtx(ctx context.Context, f float64) (float64, error) {
+	_, sp := obs.StartCtx(ctx, "cascade.cascaded_loop_l")
 	defer sp.End()
 	sp.SetAttr("segments", len(t.Specs))
 	cascadeRuns.Inc()
@@ -301,10 +309,15 @@ func (t *Tree) CascadedLoopL(f float64) (float64, error) {
 // and ground are shorted at every sink, and a 1 A loop drive is
 // applied at the root. Returns the loop inductance Im(Z)/ω.
 func (t *Tree) FullLoopL(f float64) (float64, error) {
+	return t.FullLoopLCtx(context.Background(), f)
+}
+
+// FullLoopLCtx is FullLoopL with context-parented tracing.
+func (t *Tree) FullLoopLCtx(ctx context.Context, f float64) (float64, error) {
 	if f <= 0 {
 		return 0, fmt.Errorf("cascade: frequency must be positive, got %g", f)
 	}
-	sp := obs.Start("cascade.full_loop_l")
+	_, sp := obs.StartCtx(ctx, "cascade.full_loop_l")
 	defer sp.End()
 	sp.SetAttr("segments", len(t.Specs))
 	fullSolves.Inc()

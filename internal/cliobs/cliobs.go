@@ -6,6 +6,7 @@
 package cliobs
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -52,6 +53,7 @@ type Session struct {
 	memPath  string
 	metrics  bool
 	observer *obs.Observer
+	sampler  *obs.RuntimeSampler
 }
 
 // Start opens the requested sinks and profiles and begins a root span
@@ -96,8 +98,27 @@ func (f *Flags) Start(name string) (*Session, error) {
 			}
 		}(f.PprofAddr)
 	}
+	// Any active observability surface also gets the runtime
+	// self-metrics sampler: heap, GC pauses and goroutine count land in
+	// the same registry as the pipeline counters, so the -metrics
+	// snapshot, the trace's terminal metrics event and /debug/vars all
+	// answer "what did the run cost the runtime".
+	if f.Trace != "" || f.Metrics || f.PprofAddr != "" {
+		s.sampler = obs.StartRuntimeSampler(obs.DefaultRegistry(), time.Second)
+	}
 	s.root = s.observer.Start(name)
 	return s, nil
+}
+
+// Context returns ctx carrying the session's root span, the parent
+// for every obs.StartCtx span the run starts — thread it through the
+// cmd's work (typically wrapping the Shutdown context) so concurrent
+// stages attribute to the run instead of orphaning.
+func (s *Session) Context(ctx context.Context) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return obs.ContextWithSpan(ctx, s.root)
 }
 
 // Close ends the root span, appends a final metrics snapshot to the
@@ -109,6 +130,9 @@ func (s *Session) Close() {
 		return
 	}
 	s.root.End()
+	if s.sampler != nil {
+		s.sampler.Stop()
+	}
 	if s.sink != nil {
 		snap := obs.DefaultRegistry().Snapshot()
 		s.sink.Emit(&obs.Event{Type: obs.EventMetrics, Time: time.Now(), Snap: snap})

@@ -13,6 +13,7 @@
 package clocktree
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -142,9 +143,9 @@ func (o SimOptions) withDefaults(buf Buffer) SimOptions {
 // stageDelays simulates one buffer stage: the driver at the H centre,
 // two trunk ladders, four arm ladders, four sink loads. It returns
 // the four sink 50 % arrival times measured from the stage's launch.
-func (t *Tree) stageDelays(levelIdx, stageID int, opts SimOptions, leafBase int, isLeaf bool) ([4]float64, error) {
+func (t *Tree) stageDelays(ctx context.Context, levelIdx, stageID int, opts SimOptions, leafBase int, isLeaf bool) ([4]float64, error) {
 	var delays [4]float64
-	sp := obs.Start("clocktree.stage")
+	ctx, sp := obs.StartCtx(ctx, "clocktree.stage")
 	defer sp.End()
 	sp.SetAttr("level", levelIdx)
 	sp.SetAttr("stage", stageID)
@@ -160,9 +161,9 @@ func (t *Tree) stageDelays(levelIdx, stageID int, opts SimOptions, leafBase int,
 		var rlc netlist.SegmentRLC
 		var err error
 		if opts.WithL {
-			rlc, err = t.Ext.SegmentRLC(s)
+			rlc, err = t.Ext.SegmentRLCCtx(ctx, s)
 		} else {
-			rlc, err = t.Ext.SegmentRCOnly(s)
+			rlc, err = t.Ext.SegmentRCOnlyCtx(ctx, s)
 		}
 		if err != nil {
 			return rlc, err
@@ -202,7 +203,7 @@ func (t *Tree) stageDelays(levelIdx, stageID int, opts SimOptions, leafBase int,
 		}
 		nl.AddC("c"+s, s, netlist.Ground, load)
 	}
-	res, err := sim.Transient(nl, opts.TimeStep, opts.Horizon, sinks)
+	res, err := sim.TransientCtx(ctx, nl, opts.TimeStep, opts.Horizon, sinks)
 	if err != nil {
 		return delays, fmt.Errorf("clocktree: stage %d (level %d): %w", stageID, levelIdx, err)
 	}
@@ -227,7 +228,15 @@ func (t *Tree) stageDelays(levelIdx, stageID int, opts SimOptions, leafBase int,
 // order starting at 0 for the root stage; ids are stable for use with
 // SimOptions.RCScale.
 func (t *Tree) Arrivals(opts SimOptions) ([]float64, error) {
-	sp := obs.Start("clocktree.arrivals")
+	return t.ArrivalsCtx(context.Background(), opts)
+}
+
+// ArrivalsCtx is Arrivals honouring cancellation (each stage's
+// transient polls ctx) with context-parented tracing: every
+// clocktree.stage span — and the extraction and transient spans
+// inside it — parents under the arrivals span.
+func (t *Tree) ArrivalsCtx(ctx context.Context, opts SimOptions) ([]float64, error) {
+	ctx, sp := obs.StartCtx(ctx, "clocktree.arrivals")
 	defer sp.End()
 	sp.SetAttr("levels", len(t.Levels))
 	opts = opts.withDefaults(t.Buffer)
@@ -247,7 +256,7 @@ func (t *Tree) Arrivals(opts SimOptions) ([]float64, error) {
 		cur := frontier[0]
 		frontier = frontier[1:]
 		isLeaf := cur.level == len(t.Levels)-1
-		d, err := t.stageDelays(cur.level, stageID, opts, leafBase, isLeaf)
+		d, err := t.stageDelays(ctx, cur.level, stageID, opts, leafBase, isLeaf)
 		if err != nil {
 			return nil, err
 		}

@@ -51,7 +51,11 @@ func (b Batch) SegmentsRLCCtx(ctx context.Context, e *Extractor, segs []Segment)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	sp := e.observer().Start("core.batch")
+	// The batch span rides the context so each worker's per-segment
+	// extraction span (core.extract, started via StartCtx inside
+	// SegmentRLCCtx) parents under the batch — not under whatever span
+	// another goroutine happened to have open on the shared stack.
+	ctx, sp := e.observer().StartCtx(ctx, "core.batch")
 	sp.SetAttr("segments", len(segs))
 	sp.SetAttr("workers", workers)
 	defer sp.End()
@@ -62,7 +66,7 @@ func (b Batch) SegmentsRLCCtx(ctx context.Context, e *Extractor, segs []Segment)
 	}()
 	out := make([]netlist.SegmentRLC, len(segs))
 	err := table.ParallelForCtx(ctx, len(segs), workers, func(k int) error {
-		rlc, err := e.SegmentRLC(segs[k])
+		rlc, err := e.SegmentRLCCtx(ctx, segs[k])
 		if err != nil {
 			return fmt.Errorf("core: batch segment %d: %w", k, err)
 		}

@@ -223,7 +223,7 @@ func NewExtractorCtx(ctx context.Context, tech Technology, freq float64, axes ta
 	for _, o := range opts {
 		o(e)
 	}
-	sp := e.observer().Start("core.build_tables")
+	ctx, sp := e.observer().StartCtx(ctx, "core.build_tables")
 	defer sp.End()
 	for _, sh := range shieldings {
 		cfg := table.Config{
@@ -324,10 +324,19 @@ func (e *Extractor) Tables(sh geom.Shielding) (*table.Set, error) {
 //
 //	Lloop = Ls − 2·Msg²/(Lg + Mgg).
 func (e *Extractor) LoopL(s Segment) (float64, error) {
+	return e.LoopLCtx(context.Background(), s)
+}
+
+// LoopLCtx is LoopL with its span parented through ctx
+// (obs.StartCtx), the form concurrent callers — core.Batch, the
+// clocktree stages — use so per-segment lookups attribute to the
+// right parent at any worker count. The context carries tracing
+// lineage only; lookups are pure reads and are not cancelled.
+func (e *Extractor) LoopLCtx(ctx context.Context, s Segment) (float64, error) {
 	if err := s.Validate(); err != nil {
 		return 0, err
 	}
-	sp := e.observer().Start("table.lookup")
+	_, sp := e.observer().StartCtx(ctx, "table.lookup")
 	defer sp.End()
 	sp.SetAttr("shielding", s.Shielding.String())
 	loopCompositions.Inc()
@@ -423,7 +432,12 @@ func checkLoopComposition(eng *check.Engine, s Segment, ls, lg, msg, mgg, lloop 
 // inherent envelope of the paper's method, of a kind with its own
 // Table I cascading errors.
 func (e *Extractor) DirectLoopL(s Segment) (float64, error) {
-	sp := e.observer().Start("core.direct_loop_l")
+	return e.DirectLoopLCtx(context.Background(), s)
+}
+
+// DirectLoopLCtx is DirectLoopL with context-parented tracing.
+func (e *Extractor) DirectLoopLCtx(ctx context.Context, s Segment) (float64, error) {
+	_, sp := e.observer().StartCtx(ctx, "core.direct_loop_l")
 	defer sp.End()
 	directSolves.Inc()
 	blk, err := e.Block(s)
@@ -467,10 +481,18 @@ func (e *Extractor) Block(s Segment) (*geom.Block, error) {
 // resistance, grounded-total capacitance of the signal trace, and the
 // table-composed loop inductance.
 func (e *Extractor) SegmentRLC(s Segment) (netlist.SegmentRLC, error) {
+	return e.SegmentRLCCtx(context.Background(), s)
+}
+
+// SegmentRLCCtx is SegmentRLC with context-parented tracing: the
+// extraction span parents under the span carried by ctx and the loop
+// composition's lookup span nests under it, so a batch of concurrent
+// extractions attributes each lookup to its own segment.
+func (e *Extractor) SegmentRLCCtx(ctx context.Context, s Segment) (netlist.SegmentRLC, error) {
 	if err := s.Validate(); err != nil {
 		return netlist.SegmentRLC{}, err
 	}
-	sp := e.observer().Start("core.extract")
+	ctx, sp := e.observer().StartCtx(ctx, "core.extract")
 	defer sp.End()
 	sp.SetAttr("length", s.Length)
 	segmentsExtracted.Inc()
@@ -482,7 +504,7 @@ func (e *Extractor) SegmentRLC(s Segment) (netlist.SegmentRLC, error) {
 	if err != nil {
 		return netlist.SegmentRLC{}, err
 	}
-	l, err := e.LoopL(s)
+	l, err := e.LoopLCtx(ctx, s)
 	if err != nil {
 		return netlist.SegmentRLC{}, err
 	}
@@ -499,10 +521,15 @@ func (e *Extractor) SegmentRLC(s Segment) (netlist.SegmentRLC, error) {
 // composition are skipped entirely rather than computed and
 // discarded.
 func (e *Extractor) SegmentRCOnly(s Segment) (netlist.SegmentRLC, error) {
+	return e.SegmentRCOnlyCtx(context.Background(), s)
+}
+
+// SegmentRCOnlyCtx is SegmentRCOnly with context-parented tracing.
+func (e *Extractor) SegmentRCOnlyCtx(ctx context.Context, s Segment) (netlist.SegmentRLC, error) {
 	if err := s.Validate(); err != nil {
 		return netlist.SegmentRLC{}, err
 	}
-	sp := e.observer().Start("core.extract_rc")
+	_, sp := e.observer().StartCtx(ctx, "core.extract_rc")
 	defer sp.End()
 	sp.SetAttr("length", s.Length)
 	segmentsExtracted.Inc()

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramNonFiniteGuard(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(2.0)
+	s := h.Stats()
+	if s.NonFinite != 3 {
+		t.Errorf("NonFinite = %d, want 3", s.NonFinite)
+	}
+	if s.Count != 1 || s.Sum != 2 || s.Min != 2 || s.Max != 2 || s.Mean != 2 {
+		t.Errorf("finite stats poisoned: %+v", s)
+	}
+	if math.IsNaN(s.Sum) || math.IsNaN(s.Mean) {
+		t.Error("NaN leaked into sum/mean")
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(1.0)   // decade 0
+	h.Observe(1e20)  // beyond the last decade (1e15): overflow bucket
+	h.Observe(1e-20) // below the first decade: under bucket
+	s := h.Stats()
+	if s.Count != 3 || s.Max != 1e20 || s.Min != 1e-20 {
+		t.Errorf("stats = %+v", s)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 {
+		t.Fatalf("got %d buckets %v, want under + decade + overflow", len(bounds), bounds)
+	}
+	if bounds[0] != 0 || counts[0] != 1 {
+		t.Errorf("under bucket = (%g, %d)", bounds[0], counts[0])
+	}
+	if !math.IsInf(bounds[2], 1) || counts[2] != 1 {
+		t.Errorf("overflow bucket = (%g, %d), want (+Inf, 1)", bounds[2], counts[2])
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile is not NaN")
+	}
+	// 90 observations at ~1ms, 10 at ~1s.
+	for i := 0; i < 90; i++ {
+		h.Observe(1e-3)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1.0)
+	}
+	p50, p90, p99 := h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Fatalf("quantiles not monotonic: %g %g %g", p50, p90, p99)
+	}
+	// Decade resolution: p50 lands in the 1e-3 decade, p99 in the 1e0
+	// decade (clamped to max).
+	if p50 < 1e-3 || p50 >= 1e-2 {
+		t.Errorf("p50 = %g, want within [1e-3, 1e-2)", p50)
+	}
+	if p99 < 0.1 || p99 > 1.0 {
+		t.Errorf("p99 = %g, want within the observed-second decade", p99)
+	}
+	// Quantiles never exceed the observed extremes.
+	if h.Quantile(0) < 1e-3 || h.Quantile(1) > 1.0 {
+		t.Errorf("quantiles escaped [min, max]: q0=%g q1=%g", h.Quantile(0), h.Quantile(1))
+	}
+	// Overflow-bucket quantile reports the max.
+	h2 := &Histogram{}
+	h2.Observe(1e20)
+	if got := h2.Quantile(0.99); got != 1e20 {
+		t.Errorf("overflow quantile = %g, want max", got)
+	}
+}
+
+func TestHistogramResetClearsNewFields(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(math.NaN())
+	h.Observe(1e20)
+	h.reset()
+	s := h.Stats()
+	if s.NonFinite != 0 || s.Count != 0 {
+		t.Errorf("reset left stats %+v", s)
+	}
+	if bounds, _ := h.Buckets(); len(bounds) != 0 {
+		t.Errorf("reset left buckets %v", bounds)
+	}
+}

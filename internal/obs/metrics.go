@@ -45,9 +45,13 @@ const (
 
 // Histogram records a distribution as count/sum/min/max plus decade
 // (log10) buckets of |v|; a dedicated bucket collects zero and
-// negative observations. It is mutex-protected — intended for
-// per-operation observations (a transient's step count, a table
-// build's duration), not per-inner-loop calls.
+// negative observations, a dedicated overflow bucket collects values
+// above the last decade (they are no longer silently folded into it),
+// and non-finite observations (NaN, ±Inf) are counted separately so
+// one bad sample cannot poison sum/min/max/mean. It is
+// mutex-protected — intended for per-operation observations (a
+// transient's step count, a table build's duration), not
+// per-inner-loop calls.
 type Histogram struct {
 	mu       sync.Mutex
 	count    int64
@@ -55,11 +59,21 @@ type Histogram struct {
 	min, max float64
 	buckets  [histDecades]int64
 	under    int64 // v <= 0 or below the first decade
+	over     int64 // v >= the upper edge of the last decade
+	badObs   int64 // NaN/±Inf observations, excluded from everything above
 }
 
-// Observe records one value.
+// Observe records one value. Non-finite values are counted (visible
+// in Stats.NonFinite) but excluded from count/sum/min/max and the
+// buckets: a single NaN used to make sum, mean, min and max NaN for
+// the rest of the process.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.badObs++
+		h.mu.Unlock()
+		return
+	}
 	if h.count == 0 || v < h.min {
 		h.min = v
 	}
@@ -72,7 +86,7 @@ func (h *Histogram) Observe(v float64) {
 		if i := int(math.Floor(math.Log10(v))) - histMinExp10; i >= 0 && i < histDecades {
 			h.buckets[i]++
 		} else if i >= histDecades {
-			h.buckets[histDecades-1]++
+			h.over++
 		} else {
 			h.under++
 		}
@@ -82,20 +96,23 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
-// HistStats is a histogram's reduced summary.
+// HistStats is a histogram's reduced summary. Count/Sum/Min/Max/Mean
+// cover the finite observations only; NonFinite counts the NaN/±Inf
+// observations that were guarded out.
 type HistStats struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	Mean  float64 `json:"mean"`
+	Count     int64   `json:"count"`
+	Sum       float64 `json:"sum"`
+	Min       float64 `json:"min"`
+	Max       float64 `json:"max"`
+	Mean      float64 `json:"mean"`
+	NonFinite int64   `json:"non_finite,omitempty"`
 }
 
 // Stats returns the current summary.
 func (h *Histogram) Stats() HistStats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	s := HistStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	s := HistStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, NonFinite: h.badObs}
 	if h.count > 0 {
 		s.Mean = h.sum / float64(h.count)
 	}
@@ -104,7 +121,8 @@ func (h *Histogram) Stats() HistStats {
 
 // Buckets returns the non-empty decade buckets as (lower bound 10^k,
 // count) pairs in increasing order, with the under/zero bucket first
-// as (0, count) when occupied.
+// as (0, count) when occupied and the overflow bucket last as
+// (+Inf, count) when occupied.
 func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -118,12 +136,61 @@ func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
 			counts = append(counts, n)
 		}
 	}
+	if h.over > 0 {
+		bounds = append(bounds, math.Inf(1))
+		counts = append(counts, h.over)
+	}
 	return bounds, counts
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the finite
+// observations from the decade buckets, log-interpolating within the
+// bucket the rank falls in and clamping to the observed [min, max].
+// The estimate is exact to within the decade resolution — the fidelity
+// the per-stage latency aggregation needs for p50/p90/p99 ordering,
+// not a substitute for recording raw samples. Returns NaN when the
+// histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	cum := float64(h.under)
+	clamp := func(v float64) float64 {
+		return math.Min(math.Max(v, h.min), h.max)
+	}
+	if rank <= cum {
+		// Zero/negative/below-first-decade observations: the bucket has
+		// no interior scale, so report its upper edge clamped to min.
+		return clamp(math.Pow(10, float64(histMinExp10)))
+	}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next {
+			lo := float64(i + histMinExp10)
+			frac := (rank - cum) / float64(n)
+			return clamp(math.Pow(10, lo+frac))
+		}
+		cum = next
+	}
+	// Overflow bucket (or rounding): the largest observation stands in.
+	return h.max
 }
 
 func (h *Histogram) reset() {
 	h.mu.Lock()
-	h.count, h.sum, h.min, h.max, h.under = 0, 0, 0, 0, 0
+	h.count, h.sum, h.min, h.max, h.under, h.over, h.badObs = 0, 0, 0, 0, 0, 0, 0
 	h.buckets = [histDecades]int64{}
 	h.mu.Unlock()
 }

@@ -14,9 +14,13 @@
 // spans started while another span of the same Observer is open are
 // parented to it (an explicit stack, no goroutine magic), so
 // single-goroutine pipelines — extract → table lookup → cascade —
-// nest naturally. For concurrent fan-out, Span.Child parents
-// explicitly without touching the stack. Every span start/end is
-// forwarded to the Observer's sinks as an Event.
+// nest naturally. The stack is a strictly single-goroutine
+// convenience: concurrent code must carry its parent explicitly,
+// either with Span.Child or — the preferred form since the pipeline
+// went concurrent — with StartCtx/ContextWithSpan/SpanFromContext,
+// which thread the parent through a context.Context and never read or
+// write the shared stack. Every span start/end is forwarded to the
+// Observer's sinks as an Event.
 //
 // Metrics model: counters/gauges/histograms live in a Registry
 // (package-level helpers use a process-wide default, like expvar).
@@ -40,8 +44,18 @@ type Observer struct {
 
 	mu    sync.Mutex
 	sinks []Sink
-	stack []uint64 // open-span ids, innermost last (auto-parenting)
+	stack []stackEntry // open-span entries, innermost last (auto-parenting)
 	now   func() time.Time
+}
+
+// stackEntry is one auto-parenting stack slot. Entries ended out of
+// order are marked closed in place rather than removed, so closing a
+// span never shifts the positions of the entries around it — a new
+// Start parents to the innermost entry that is still open, and
+// trailing closed entries are trimmed when the top of the stack ends.
+type stackEntry struct {
+	id     uint64
+	closed bool
 }
 
 // New returns an Observer forwarding to the given sinks (none ⇒
@@ -118,6 +132,7 @@ type spanData struct {
 	parent uint64
 	name   string
 	start  time.Time
+	pushed bool // on the auto-parenting stack (legacy Start only)
 	done   atomic.Bool
 
 	mu    sync.Mutex
@@ -126,16 +141,25 @@ type spanData struct {
 
 // Start begins a span. Its parent is the innermost span of this
 // observer that is still open (zero for a root span).
+//
+// Start's auto-parenting reads a stack shared by the whole observer,
+// so it is only correct when one goroutine at a time starts spans.
+// Code that fans out — worker pools, batches, anything reached from a
+// *Ctx entry point — must use StartCtx (or Span.Child), which carry
+// the parent explicitly and never touch the stack.
 func (o *Observer) Start(name string) Span {
 	if o == nil || !o.enabled.Load() {
 		return Span{}
 	}
-	d := &spanData{o: o, id: o.nextID.Add(1), name: name, start: o.clock()}
+	d := &spanData{o: o, id: o.nextID.Add(1), name: name, start: o.clock(), pushed: true}
 	o.mu.Lock()
-	if n := len(o.stack); n > 0 {
-		d.parent = o.stack[n-1]
+	for i := len(o.stack) - 1; i >= 0; i-- {
+		if !o.stack[i].closed {
+			d.parent = o.stack[i].id
+			break
+		}
 	}
-	o.stack = append(o.stack, d.id)
+	o.stack = append(o.stack, stackEntry{id: d.id})
 	sinks := o.sinks
 	o.mu.Unlock()
 	emit(sinks, &Event{Type: EventSpanStart, Name: name, Span: d.id, Parent: d.parent, Time: d.start})
@@ -188,12 +212,22 @@ func (s Span) End() {
 	o := d.o
 	end := o.clock()
 	o.mu.Lock()
-	// Pop from the open-span stack (normally the top; spans ended out
-	// of order are removed in place so siblings re-parent correctly).
-	for i := len(o.stack) - 1; i >= 0; i-- {
-		if o.stack[i] == d.id {
-			o.stack = append(o.stack[:i], o.stack[i+1:]...)
-			break
+	// Retire the span's auto-parenting slot. The top of the stack pops
+	// (plus any trailing already-closed entries beneath it); a span
+	// ended out of order is only marked closed in place — removal used
+	// to shift the entries above it down, which let a sibling started
+	// afterwards re-parent under a span from another goroutine. Spans
+	// created by StartCtx/Child were never pushed and skip the stack
+	// entirely.
+	if d.pushed {
+		for i := len(o.stack) - 1; i >= 0; i-- {
+			if o.stack[i].id == d.id {
+				o.stack[i].closed = true
+				break
+			}
+		}
+		for n := len(o.stack); n > 0 && o.stack[n-1].closed; n = len(o.stack) {
+			o.stack = o.stack[:n-1]
 		}
 	}
 	sinks := o.sinks

@@ -64,13 +64,17 @@ func TestSpanOutOfOrderEnd(t *testing.T) {
 	o := New(sink)
 	a := o.Start("a")
 	b := o.Start("b")
-	a.End() // out of order: outer ends first
+	a.End() // out of order: outer ends first — marked closed in place, not removed
 	c := o.Start("c")
-	if got := len(o.stack); got != 2 {
-		t.Fatalf("stack depth %d, want 2 (b, c)", got)
+	if got := len(o.stack); got != 3 {
+		t.Fatalf("stack depth %d, want 3 (a closed in place, b, c)", got)
 	}
 	c.End()
 	b.End()
+	// Ending the top pops it and every trailing closed entry beneath.
+	if got := len(o.stack); got != 0 {
+		t.Fatalf("stack depth %d after all ends, want 0", got)
+	}
 	evs := sink.Events()
 	// c started while b was still open, so c parents to b.
 	var bID uint64

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runtime self-metrics: the process observing itself. A long
+// extraction (or the future rlcxd daemon) wants heap growth, GC
+// behaviour and goroutine count in the same registry — and therefore
+// the same -metrics/-pprof/expvar surfaces — as the pipeline's own
+// counters, so one snapshot answers both "what did the run do" and
+// "what did it cost the runtime".
+
+// SampleRuntime records the Go runtime's current self-metrics into
+// r's gauges (nil selects the default registry):
+//
+//	runtime.heap_alloc_bytes   live heap
+//	runtime.heap_objects       live objects
+//	runtime.sys_bytes          total memory obtained from the OS
+//	runtime.goroutines         current goroutine count
+//	runtime.num_gc             completed GC cycles
+//	runtime.gc_pause_total_ns  cumulative stop-the-world pause
+//
+// Note ReadMemStats briefly stops the world; call at human
+// frequencies (the sampler defaults to seconds), not per operation.
+func SampleRuntime(r *Registry) {
+	if r == nil {
+		r = defaultRegistry
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	r.Gauge("runtime.heap_objects").Set(float64(ms.HeapObjects))
+	r.Gauge("runtime.sys_bytes").Set(float64(ms.Sys))
+	r.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+	r.Gauge("runtime.num_gc").Set(float64(ms.NumGC))
+	r.Gauge("runtime.gc_pause_total_ns").Set(float64(ms.PauseTotalNs))
+}
+
+// RuntimeSampler periodically records runtime self-metrics into a
+// registry, and feeds each newly completed GC's pause into the
+// runtime.gc_pause_seconds histogram (whose decade buckets make the
+// p99 pause recoverable with Histogram.Quantile).
+type RuntimeSampler struct {
+	r         *Registry
+	stop      chan struct{}
+	done      chan struct{}
+	stopOnce  sync.Once
+	lastNumGC uint32
+}
+
+// StartRuntimeSampler begins sampling every interval (minimum 100ms,
+// default 5s when interval <= 0) until Stop. An initial sample is
+// taken synchronously so the gauges exist before the first tick.
+func StartRuntimeSampler(r *Registry, interval time.Duration) *RuntimeSampler {
+	if r == nil {
+		r = defaultRegistry
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	s := &RuntimeSampler{r: r, stop: make(chan struct{}), done: make(chan struct{})}
+	s.sample()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.sample()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// Stop takes a final sample and releases the sampler goroutine. Safe
+// to call more than once.
+func (s *RuntimeSampler) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		<-s.done
+		s.sample()
+	})
+}
+
+func (s *RuntimeSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.r.Gauge("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	s.r.Gauge("runtime.heap_objects").Set(float64(ms.HeapObjects))
+	s.r.Gauge("runtime.sys_bytes").Set(float64(ms.Sys))
+	s.r.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+	s.r.Gauge("runtime.num_gc").Set(float64(ms.NumGC))
+	s.r.Gauge("runtime.gc_pause_total_ns").Set(float64(ms.PauseTotalNs))
+	// Feed each GC completed since the previous sample into the pause
+	// histogram; PauseNs is a circular buffer of the last 256 pauses.
+	if n := ms.NumGC; n > s.lastNumGC {
+		h := s.r.Histogram("runtime.gc_pause_seconds")
+		first := s.lastNumGC
+		if n-first > 256 {
+			first = n - 256
+		}
+		for i := first; i < n; i++ {
+			h.Observe(float64(ms.PauseNs[(i+255)%256]) / 1e9)
+		}
+		s.lastNumGC = n
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestSampleRuntimeGauges(t *testing.T) {
+	r := NewRegistry()
+	SampleRuntime(r)
+	for _, name := range []string{
+		"runtime.heap_alloc_bytes", "runtime.heap_objects", "runtime.sys_bytes",
+		"runtime.goroutines",
+	} {
+		if v := r.Gauge(name).Value(); v <= 0 {
+			t.Errorf("%s = %g, want > 0", name, v)
+		}
+	}
+}
+
+func TestRuntimeSamplerObservesGCPauses(t *testing.T) {
+	r := NewRegistry()
+	s := StartRuntimeSampler(r, 100*time.Millisecond)
+	runtime.GC()
+	runtime.GC()
+	s.Stop()
+	s.Stop() // idempotent
+
+	if v := r.Gauge("runtime.num_gc").Value(); v < 2 {
+		t.Errorf("runtime.num_gc = %g, want >= 2", v)
+	}
+	st := r.Histogram("runtime.gc_pause_seconds").Stats()
+	if st.Count < 2 {
+		t.Errorf("gc pause histogram count = %d, want >= 2", st.Count)
+	}
+	if st.Min < 0 || st.NonFinite != 0 {
+		t.Errorf("gc pause stats = %+v", st)
+	}
+	// The pause histogram's decade buckets must yield a usable p99.
+	if p99 := r.Histogram("runtime.gc_pause_seconds").Quantile(0.99); p99 != p99 || p99 < 0 {
+		t.Errorf("gc pause p99 = %g", p99)
+	}
+}
+
+func TestRuntimeSamplerTicks(t *testing.T) {
+	r := NewRegistry()
+	s := StartRuntimeSampler(r, 100*time.Millisecond)
+	defer s.Stop()
+	// The initial synchronous sample plus at least one tick.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.Gauge("runtime.goroutines").Value() > 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Error("sampler never recorded goroutine count")
+}

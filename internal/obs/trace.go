@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Trace analysis: reconstruct the span tree a JSONL trace (or a
+// MemorySink) recorded, aggregate latency per span name, and walk the
+// critical path. This is the read side of the context-propagated
+// tracing model — with every concurrent span carrying its parent
+// explicitly, the tree reconstructs exactly at any worker count, and
+// an orphaned span (a parent id that never appeared) is a bug worth
+// reporting, not an expected artefact.
+
+// TraceSpan is one reconstructed span of a recorded trace.
+type TraceSpan struct {
+	ID     uint64
+	Parent uint64 // zero for roots
+	Name   string
+	Start  time.Time
+	End    time.Time
+	Dur    time.Duration
+	Attrs  map[string]any
+
+	// Children are ordered by start time (ties by id).
+	Children []*TraceSpan
+
+	// Started/Ended report whether the trace contained the matching
+	// event; a span with Ended == false was still open when the trace
+	// stopped and its Dur is zero.
+	Started, Ended bool
+}
+
+// SelfTime is the span's duration minus the duration of its children,
+// floored at zero (concurrent children can overlap their parent
+// beyond its own length).
+func (s *TraceSpan) SelfTime() time.Duration {
+	self := s.Dur
+	for _, c := range s.Children {
+		self -= c.Dur
+	}
+	if self < 0 {
+		return 0
+	}
+	return self
+}
+
+// Trace is a reconstructed span forest.
+type Trace struct {
+	// Roots are the parentless spans, ordered by start time.
+	Roots []*TraceSpan
+	// Spans indexes every span by id.
+	Spans map[uint64]*TraceSpan
+	// Orphans are spans whose recorded parent id never appeared in the
+	// trace; they are not attached under Roots. A concurrency-correct
+	// trace has none.
+	Orphans []*TraceSpan
+	// Unended are spans with a start event but no end event.
+	Unended []*TraceSpan
+	// Metrics is the terminal registry snapshot, when the trace
+	// carried one (cliobs appends it on Close).
+	Metrics *Snapshot
+}
+
+// BuildTrace reconstructs the span forest from recorded events.
+func BuildTrace(events []Event) *Trace {
+	t := &Trace{Spans: map[uint64]*TraceSpan{}}
+	get := func(id uint64) *TraceSpan {
+		sp, ok := t.Spans[id]
+		if !ok {
+			sp = &TraceSpan{ID: id}
+			t.Spans[id] = sp
+		}
+		return sp
+	}
+	for i := range events {
+		e := &events[i]
+		switch e.Type {
+		case EventSpanStart:
+			sp := get(e.Span)
+			sp.Name, sp.Parent, sp.Start, sp.Started = e.Name, e.Parent, e.Time, true
+		case EventSpanEnd:
+			sp := get(e.Span)
+			sp.Name, sp.Parent, sp.Ended = e.Name, e.Parent, true
+			sp.End, sp.Dur, sp.Attrs = e.Time, e.Dur, e.Attrs
+			if !sp.Started {
+				sp.Start = e.Time.Add(-e.Dur)
+			}
+		case EventMetrics:
+			if e.Snap != nil {
+				t.Metrics = e.Snap
+			}
+		}
+	}
+	for _, sp := range t.Spans {
+		if !sp.Ended {
+			t.Unended = append(t.Unended, sp)
+		}
+		if sp.Parent == 0 {
+			t.Roots = append(t.Roots, sp)
+			continue
+		}
+		if parent, ok := t.Spans[sp.Parent]; ok {
+			parent.Children = append(parent.Children, sp)
+		} else {
+			t.Orphans = append(t.Orphans, sp)
+		}
+	}
+	byStart := func(spans []*TraceSpan) {
+		sort.Slice(spans, func(i, j int) bool {
+			if !spans[i].Start.Equal(spans[j].Start) {
+				return spans[i].Start.Before(spans[j].Start)
+			}
+			return spans[i].ID < spans[j].ID
+		})
+	}
+	byStart(t.Roots)
+	byStart(t.Orphans)
+	byStart(t.Unended)
+	for _, sp := range t.Spans {
+		byStart(sp.Children)
+	}
+	return t
+}
+
+// ReadTrace decodes a JSONL trace stream (the -trace file format).
+func ReadTrace(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return events, nil
+}
+
+// NameStats is the per-span-name latency aggregation of one trace:
+// how often the stage ran, its total and self (children-excluded)
+// time, and p50/p90/p99 estimated from decade histogram buckets of
+// the per-span durations.
+type NameStats struct {
+	Name          string
+	Count         int
+	Total, Self   time.Duration
+	P50, P90, P99 time.Duration
+}
+
+// Aggregate reduces the trace to per-span-name stats, ordered by self
+// time descending (ties by name, for deterministic reports). Unended
+// spans contribute to Count but no time.
+func (t *Trace) Aggregate() []NameStats {
+	type acc struct {
+		stats NameStats
+		hist  *Histogram
+	}
+	byName := map[string]*acc{}
+	for _, sp := range t.Spans {
+		name := sp.Name
+		if name == "" {
+			name = "(unnamed)"
+		}
+		a, ok := byName[name]
+		if !ok {
+			a = &acc{stats: NameStats{Name: name}, hist: &Histogram{}}
+			byName[name] = a
+		}
+		a.stats.Count++
+		a.stats.Total += sp.Dur
+		a.stats.Self += sp.SelfTime()
+		if sp.Ended {
+			a.hist.Observe(sp.Dur.Seconds())
+		}
+	}
+	out := make([]NameStats, 0, len(byName))
+	for _, a := range byName {
+		q := func(p float64) time.Duration {
+			v := a.hist.Quantile(p)
+			if v != v { // NaN: no ended spans
+				return 0
+			}
+			return time.Duration(v * float64(time.Second))
+		}
+		a.stats.P50, a.stats.P90, a.stats.P99 = q(0.50), q(0.90), q(0.99)
+		out = append(out, a.stats)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Self != out[j].Self {
+			return out[i].Self > out[j].Self
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// CriticalPath walks from the longest root down the chain of children
+// that finished last — at each level the child whose end time gated
+// its parent's completion. For a parallel stage the path follows the
+// straggler, which is exactly the work that bounded the wall time;
+// the path's head duration is the trace's wall time for that root.
+// Returns nil for an empty trace.
+func (t *Trace) CriticalPath() []*TraceSpan {
+	var root *TraceSpan
+	for _, r := range t.Roots {
+		if root == nil || r.Dur > root.Dur {
+			root = r
+		}
+	}
+	if root == nil {
+		return nil
+	}
+	path := []*TraceSpan{root}
+	for cur := root; len(cur.Children) > 0; {
+		var next *TraceSpan
+		for _, c := range cur.Children {
+			if !c.Ended {
+				continue
+			}
+			if next == nil || c.End.After(next.End) {
+				next = c
+			}
+		}
+		if next == nil {
+			break
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}

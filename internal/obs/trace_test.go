@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func ts(ms int) time.Time { return time.Unix(1000, 0).Add(time.Duration(ms) * time.Millisecond) }
+
+func spanEvents(id, parent uint64, name string, startMs, endMs int) []Event {
+	return []Event{
+		{Type: EventSpanStart, Name: name, Span: id, Parent: parent, Time: ts(startMs)},
+		{Type: EventSpanEnd, Name: name, Span: id, Parent: parent, Time: ts(endMs),
+			Dur: time.Duration(endMs-startMs) * time.Millisecond},
+	}
+}
+
+func TestBuildTraceShape(t *testing.T) {
+	var evs []Event
+	evs = append(evs, spanEvents(1, 0, "root", 0, 100)...)
+	evs = append(evs, spanEvents(2, 1, "stage", 10, 90)...)
+	evs = append(evs, spanEvents(3, 2, "cell", 20, 50)...)
+	evs = append(evs, spanEvents(4, 2, "cell", 15, 80)...)
+	// Orphan: parent 99 never appears.
+	evs = append(evs, spanEvents(5, 99, "lost", 30, 40)...)
+	// Unended: start only.
+	evs = append(evs, Event{Type: EventSpanStart, Name: "open", Span: 6, Parent: 1, Time: ts(95)})
+	tr := BuildTrace(evs)
+
+	if len(tr.Roots) != 1 || tr.Roots[0].Name != "root" {
+		t.Fatalf("roots = %+v", tr.Roots)
+	}
+	if len(tr.Orphans) != 1 || tr.Orphans[0].Name != "lost" {
+		t.Fatalf("orphans = %+v", tr.Orphans)
+	}
+	if len(tr.Unended) != 1 || tr.Unended[0].Name != "open" {
+		t.Fatalf("unended = %+v", tr.Unended)
+	}
+	stage := tr.Spans[2]
+	if len(stage.Children) != 2 {
+		t.Fatalf("stage has %d children, want 2", len(stage.Children))
+	}
+	// Children ordered by start: span 4 (15ms) before span 3 (20ms).
+	if stage.Children[0].ID != 4 || stage.Children[1].ID != 3 {
+		t.Errorf("children order = %d, %d; want 4, 3", stage.Children[0].ID, stage.Children[1].ID)
+	}
+	// Self time: stage 80ms − (30+65)ms children, floored at 0.
+	if got := stage.SelfTime(); got != 0 {
+		t.Errorf("stage self time = %v, want 0 (overlapping children exceed parent)", got)
+	}
+	if got := tr.Roots[0].SelfTime(); got != 20*time.Millisecond {
+		t.Errorf("root self time = %v, want 20ms", got)
+	}
+}
+
+func TestBuildTraceEndWithoutStart(t *testing.T) {
+	evs := []Event{{
+		Type: EventSpanEnd, Name: "tail", Span: 7, Time: ts(50), Dur: 30 * time.Millisecond,
+	}}
+	tr := BuildTrace(evs)
+	sp := tr.Spans[7]
+	if !sp.Start.Equal(ts(20)) {
+		t.Errorf("back-computed start = %v, want %v", sp.Start, ts(20))
+	}
+	if sp.Started {
+		t.Error("span without a start event reports Started")
+	}
+}
+
+func TestAggregateOrderingAndPercentiles(t *testing.T) {
+	var evs []Event
+	evs = append(evs, spanEvents(1, 0, "root", 0, 100)...)
+	// Three quick cells and one slow one, sequential under root.
+	evs = append(evs, spanEvents(2, 1, "cell", 0, 10)...)
+	evs = append(evs, spanEvents(3, 1, "cell", 10, 20)...)
+	evs = append(evs, spanEvents(4, 1, "cell", 20, 30)...)
+	evs = append(evs, spanEvents(5, 1, "cell", 30, 90)...)
+	agg := BuildTrace(evs).Aggregate()
+	if agg[0].Name != "cell" {
+		t.Fatalf("top stage = %q, want cell", agg[0].Name)
+	}
+	c := agg[0]
+	if c.Count != 4 || c.Total != 90*time.Millisecond || c.Self != 90*time.Millisecond {
+		t.Errorf("cell stats = %+v", c)
+	}
+	if !(c.P50 <= c.P90 && c.P90 <= c.P99) {
+		t.Errorf("percentiles not monotonic: %v %v %v", c.P50, c.P90, c.P99)
+	}
+	// p99 must land near the slow cell, p50 near the fast ones (decade
+	// resolution: within the right order of magnitude).
+	if c.P99 < 30*time.Millisecond || c.P99 > 60*time.Millisecond {
+		t.Errorf("p99 = %v, want near the 60ms straggler (clamped to max)", c.P99)
+	}
+	if c.P50 < 10*time.Millisecond || c.P50 > 40*time.Millisecond {
+		t.Errorf("p50 = %v, want within the 10ms decade", c.P50)
+	}
+	// root: self = 100 − 90 = 10ms, ranked below cell.
+	if agg[1].Name != "root" || agg[1].Self != 10*time.Millisecond {
+		t.Errorf("second stage = %+v", agg[1])
+	}
+}
+
+func TestCriticalPathFollowsStraggler(t *testing.T) {
+	var evs []Event
+	evs = append(evs, spanEvents(1, 0, "root", 0, 100)...)
+	evs = append(evs, spanEvents(2, 1, "fast-branch", 0, 40)...)
+	evs = append(evs, spanEvents(3, 1, "slow-branch", 5, 95)...)
+	evs = append(evs, spanEvents(4, 3, "inner", 10, 90)...)
+	tr := BuildTrace(evs)
+	path := tr.CriticalPath()
+	var names []string
+	for _, sp := range path {
+		names = append(names, sp.Name)
+	}
+	if got := strings.Join(names, ">"); got != "root>slow-branch>inner" {
+		t.Errorf("critical path = %s", got)
+	}
+	if path[0].Dur != 100*time.Millisecond {
+		t.Errorf("path head dur = %v, want the root wall time", path[0].Dur)
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	if p := BuildTrace(nil).CriticalPath(); p != nil {
+		t.Errorf("empty trace critical path = %v", p)
+	}
+}
+
+func TestReadTraceBadLine(t *testing.T) {
+	in := `{"type":"span_start","name":"a","span":1,"time":"2026-01-02T03:04:05Z"}
+{not json`
+	_, err := ReadTrace(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line-2 parse error", err)
+	}
+}
+
+func TestReadTraceCapturesMetrics(t *testing.T) {
+	in := `{"type":"metrics","time":"2026-01-02T03:04:05Z","metrics":{"time":"2026-01-02T03:04:05Z","counters":{"x":1}}}`
+	evs, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := BuildTrace(evs)
+	if tr.Metrics == nil || tr.Metrics.Counters["x"] != 1 {
+		t.Errorf("metrics snapshot not captured: %+v", tr.Metrics)
+	}
+}

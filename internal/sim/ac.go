@@ -8,6 +8,7 @@ import (
 
 	"clockrlc/internal/linalg"
 	"clockrlc/internal/netlist"
+	"clockrlc/internal/obs"
 )
 
 // ACResult holds a small-signal frequency sweep: per probed node, the
@@ -61,6 +62,9 @@ func ACCtx(ctx context.Context, nl *netlist.Netlist, freqs []float64, acMag map[
 	if len(freqs) == 0 {
 		return nil, fmt.Errorf("sim: AC needs at least one frequency")
 	}
+	_, sp := obs.StartCtx(ctx, "sim.ac")
+	sp.SetAttr("freqs", len(freqs))
+	defer sp.End()
 	for _, f := range freqs {
 		if f <= 0 {
 			return nil, fmt.Errorf("sim: AC frequency %g must be positive", f)

@@ -202,7 +202,7 @@ func TransientCtx(ctx context.Context, nl *netlist.Netlist, h, tstop float64, pr
 	if h <= 0 || tstop <= 0 || tstop < h {
 		return nil, fmt.Errorf("sim: bad time grid (h=%g, tstop=%g)", h, tstop)
 	}
-	sp := obs.Start("sim.transient")
+	_, sp := obs.StartCtx(ctx, "sim.transient")
 	defer sp.End()
 	simTransients.Inc()
 	simStepHist.Observe(h)

@@ -249,7 +249,7 @@ func (c *Cache) GetOrBuildCtx(ctx context.Context, cfg Config, axes Axes, o *obs
 	if o == nil {
 		o = obs.Default()
 	}
-	sp := o.Start("table.cache")
+	ctx, sp := o.StartCtx(ctx, "table.cache")
 	sp.SetAttr("name", cfg.Name)
 	defer sp.End()
 	s, ok, err := c.GetCtx(ctx, cfg, axes)

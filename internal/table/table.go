@@ -328,7 +328,11 @@ func BuildCtx(ctx context.Context, cfg Config, axes Axes, o *obs.Observer) (*Set
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	sp := o.Start("table.build")
+	// The build span rides the context: every worker's per-cell span
+	// parents under it explicitly (obs.StartCtx), so a parallel build's
+	// trace reconstructs exactly at any worker count instead of
+	// interleaving on the observer's shared stack.
+	ctx, sp := o.StartCtx(ctx, "table.build")
 	sp.SetAttr("name", cfg.Name)
 	sp.SetAttr("workers", workers)
 	defer sp.End()
@@ -345,6 +349,9 @@ func BuildCtx(ctx context.Context, cfg Config, axes Axes, o *obs.Observer) (*Set
 	selfVals := make([]float64, nw*nl)
 	err := ParallelForCtx(ctx, len(selfVals), workers, func(k int) error {
 		w, l := axes.Widths[k/nl], axes.Lengths[k%nl]
+		_, csp := o.StartCtx(ctx, "table.self_cell")
+		csp.SetAttr("cell", k)
+		defer csp.End()
 		return solverRetry.Do(ctx, "table.self", func() error {
 			v, err := selfEntry(cfg, w, l)
 			if err != nil {
@@ -384,6 +391,9 @@ func BuildCtx(ctx context.Context, cfg Config, axes Axes, o *obs.Observer) (*Set
 	mutVals := make([]float64, nw*nw*ns*nl)
 	err = ParallelForCtx(ctx, len(jobs), workers, func(k int) error {
 		jb := jobs[k]
+		_, csp := o.StartCtx(ctx, "table.mutual_cell")
+		csp.SetAttr("cell", k)
+		defer csp.End()
 		return solverRetry.Do(ctx, "table.mutual", func() error {
 			v, err := mutualEntry(cfg, jb.w1, jb.w2, jb.sp, jb.l)
 			if err != nil {
