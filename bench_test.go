@@ -8,6 +8,8 @@ package clockrlc_test
 
 import (
 	"context"
+	"math"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -18,6 +20,7 @@ import (
 	"clockrlc/internal/obs"
 	"clockrlc/internal/paper"
 	"clockrlc/internal/peec"
+	"clockrlc/internal/spline"
 	"clockrlc/internal/table"
 	"clockrlc/internal/units"
 )
@@ -477,5 +480,135 @@ func BenchmarkExtractorCache(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// benchSyntheticLibrarySet builds a realistically sized table set with
+// closed-form (solver-free) values so the library-open benchmarks time
+// the codecs, not the sweep. 8×8×10 axes put ~5 k mutual entries plus
+// spline coefficients in the artifact — the scale of a production
+// layer library.
+func benchSyntheticLibrarySet(b *testing.B) *table.Set {
+	b.Helper()
+	axes := table.Axes{
+		Widths:   table.LogAxis(units.Um(1), units.Um(14), 8),
+		Spacings: table.LogAxis(units.Um(0.5), units.Um(22), 8),
+		Lengths:  table.LogAxis(units.Um(50), units.Um(8000), 10),
+	}
+	nw, ns, nl := len(axes.Widths), len(axes.Spacings), len(axes.Lengths)
+	const t = 2e-6
+	selfL := func(w, l float64) float64 {
+		return 2e-7 * l * (math.Log(2*l/(w+t)) + 0.5 + 0.2235*(w+t)/l)
+	}
+	selfVals := make([]float64, nw*nl)
+	for i, w := range axes.Widths {
+		for k, l := range axes.Lengths {
+			selfVals[i*nl+k] = selfL(w, l)
+		}
+	}
+	mutVals := make([]float64, nw*nw*ns*nl)
+	for i1, w1 := range axes.Widths {
+		for i2, w2 := range axes.Widths {
+			for j, sp := range axes.Spacings {
+				for k, l := range axes.Lengths {
+					d := sp + (w1+w2)/2
+					m := 2e-7 * l * (math.Log(2*l/d) - 1 + d/l)
+					if m < 0 {
+						m = 0
+					}
+					mutVals[((i1*nw+i2)*ns+j)*nl+k] = m
+				}
+			}
+		}
+	}
+	s := &table.Set{
+		Config: table.Config{
+			Name:      "bench/synthetic",
+			Thickness: units.Um(2),
+			Rho:       units.RhoCopper,
+			Frequency: paper.Fsig,
+		},
+		Axes: axes,
+	}
+	var err error
+	if s.Self, err = spline.NewGrid([][]float64{axes.Widths, axes.Lengths}, selfVals); err != nil {
+		b.Fatal(err)
+	}
+	if s.Mutual, err = spline.NewGrid(
+		[][]float64{axes.Widths, axes.Widths, axes.Spacings, axes.Lengths}, mutVals); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkLibraryOpen times opening one stored table set ready for
+// lookups: the v2 JSON codec parses and re-derives spline coefficient
+// matrices; the v3 binary codec verifies a checksum and mmaps the
+// value and coefficient blocks in place. scripts/bench.sh records the
+// ratio in BENCH_mmap.json as library_open_speedup_vs_v2.
+func BenchmarkLibraryOpen(b *testing.B) {
+	s := benchSyntheticLibrarySet(b)
+	dir := b.TempDir()
+	v2 := filepath.Join(dir, "set.json")
+	v3 := filepath.Join(dir, "set.rlct")
+	if err := s.SaveFile(v2); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.SaveFileV3(v3); err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct{ name, path string }{{"v2", v2}, {"v3", v3}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				set, err := table.LoadFile(bc.path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := set.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLookupBatch prices one clocktree's worth of loop
+// compositions per iteration — 1024 segments drawn from 16 distinct
+// geometries, the repetition an H-tree exhibits — through the scalar
+// per-segment path (four table lookups each) and the vectorized
+// LoopLBatch path (two batched lookups per shielding group, repeated
+// geometries deduped inside the spline contraction). The ns/q metric
+// is the per-segment cost scripts/bench.sh records in BENCH_mmap.json.
+func BenchmarkLookupBatch(b *testing.B) {
+	e := benchExtractor(b)
+	base := paper.Fig1Segment()
+	segs := make([]core.Segment, 1024)
+	for i := range segs {
+		g := base
+		// 16 distinct geometries, cycled.
+		v := float64(i % 16)
+		g.Length = units.Um(400 + 300*v)
+		g.SignalWidth = units.Um(2 + v/4)
+		g.GroundWidth = units.Um(2 + v/8)
+		g.Spacing = units.Um(1 + v/16)
+		segs[i] = g
+	}
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range segs {
+				if _, err := e.LoopL(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(segs)), "ns/q")
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.LoopLBatch(segs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(segs)), "ns/q")
 	})
 }

@@ -473,8 +473,11 @@ func TableCacheKey(cfg TableConfig, axes TableAxes) (string, error) {
 	return table.CacheKey(cfg, axes)
 }
 
-// ExtractionBatch fans segment extraction across a bounded worker
-// pool; Extractor.SegmentsRLC is the GOMAXPROCS-wide shorthand.
+// ExtractionBatch fans whole-segment extraction across a bounded
+// worker pool. Extractor.SegmentsRLC instead takes the vectorized
+// path — R/C on a GOMAXPROCS-wide pool, then all loop inductances
+// through the table layer's batch lookups — with bit-identical
+// results.
 type ExtractionBatch = core.Batch
 
 // TableLibrary manages one technology's table sets (one per layer and

@@ -1,15 +1,23 @@
 // Command tablegen precomputes an inductance table set (Section III of
-// the paper) for a layer and shielding configuration and writes it as
-// JSON for later use by rlcx/treesim or the library.
+// the paper) for a layer and shielding configuration and writes it for
+// later use by rlcx/treesim or the library — by default in the v3
+// binary codec, which LoadFile mmaps instead of parsing; -format v2
+// selects the JSON codec instead.
 //
 // Example:
 //
-//	tablegen -out m6_cpw.json -thickness 2 -rho cu -shield coplanar \
+//	tablegen -out m6_cpw.rlct -thickness 2 -rho cu -shield coplanar \
 //	    -tr 50 -wmin 1 -wmax 14 -nw 5 -smin 0.5 -smax 22 -ns 6 \
 //	    -lmin 50 -lmax 8000 -nl 8
 //
 // All geometric flags are in microns; -tr is the minimum signal rise
 // time in picoseconds (the extraction runs at 0.32/tr).
+//
+// The migrate subcommand converts existing artifacts between codecs
+// without re-solving anything — values migrate bit-identically:
+//
+//	tablegen migrate m6_cpw.json m6_cpw.rlct     # one file
+//	tablegen migrate -format v3 libdir newlibdir # a whole library
 package main
 
 import (
@@ -29,9 +37,14 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "migrate" {
+		mainMigrate(os.Args[2:])
+		return
+	}
 	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	var (
-		out       = flag.String("out", "tables.json", "output file")
+		out       = flag.String("out", "tables.rlct", "output file")
+		format    = flag.String("format", "v3", "output codec: v3 (mmap-able binary) or v2 (JSON)")
 		name      = flag.String("name", "layer", "table set name")
 		thickness = flag.Float64("thickness", 2, "layer metal thickness (µm)")
 		rhoName   = flag.String("rho", "cu", "metal: cu or al, or a resistivity in Ω·m")
@@ -59,7 +72,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tablegen:", err)
 		os.Exit(cliobs.ExitFailure)
 	}
-	err = run(sess.Context(sd.Context()), *out, *name, *thickness, *rhoName, *shield, *planeGap, *planeT,
+	err = run(sess.Context(sd.Context()), *out, *format, *name, *thickness, *rhoName, *shield, *planeGap, *planeT,
 		*tr, *wmin, *wmax, *nw, *smin, *smax, *ns, *lmin, *lmax, *nl, *workers, *cacheDir)
 	sess.Close()
 	sd.Stop()
@@ -69,9 +82,79 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, out, name string, thickness float64, rhoName, shield string,
+// mainMigrate implements `tablegen migrate [-format v2|v3] src dst`:
+// codec conversion of an existing artifact (file mode) or a whole
+// library directory (dir mode), bit-identical and without a single
+// field-solver call.
+func mainMigrate(argv []string) {
+	fs := flag.NewFlagSet("tablegen migrate", flag.ExitOnError)
+	format := fs.String("format", "v3", "target codec: v3 (mmap-able binary) or v2 (JSON)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tablegen migrate [-format v2|v3] src dst")
+		fmt.Fprintln(os.Stderr, "  src: a table file (any codec) or a library directory")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(argv)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(cliobs.ExitFailure)
+	}
+	if err := migrate(fs.Arg(0), fs.Arg(1), *format); err != nil {
+		fmt.Fprintln(os.Stderr, "tablegen:", err)
+		os.Exit(cliobs.ExitFailure)
+	}
+}
+
+// migrate loads src (sniffing the codec per file) and rewrites it at
+// dst in the requested format. Directory sources migrate every table
+// file into the dst directory under the library's file-name scheme.
+func migrate(src, dst, format string) error {
+	if format != "v2" && format != "v3" {
+		return fmt.Errorf("bad -format %q (want v2 or v3)", format)
+	}
+	fi, err := os.Stat(src)
+	if err != nil {
+		return err
+	}
+	if fi.IsDir() {
+		lib, err := table.LoadDir(src)
+		if err != nil {
+			return err
+		}
+		if format == "v3" {
+			err = lib.SaveDirV3(dst)
+		} else {
+			err = lib.SaveDir(dst)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("migrated %d table set(s) from %s to %s (%s)\n", lib.Len(), src, dst, format)
+		return nil
+	}
+	s, err := table.LoadFile(src)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if format == "v3" {
+		err = s.SaveFileV3(dst)
+	} else {
+		err = s.SaveFile(dst)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("migrated %s to %s (%s)\n", src, dst, format)
+	return nil
+}
+
+func run(ctx context.Context, out, format, name string, thickness float64, rhoName, shield string,
 	planeGap, planeT, tr, wmin, wmax float64, nw int, smin, smax float64,
 	ns int, lmin, lmax float64, nl, workers int, cacheDir string) error {
+	if format != "v2" && format != "v3" {
+		return fmt.Errorf("bad -format %q (want v2 or v3)", format)
+	}
 	var rho float64
 	switch rhoName {
 	case "cu":
@@ -169,7 +252,12 @@ func run(ctx context.Context, out, name string, thickness float64, rhoName, shie
 	if err != nil {
 		return err
 	}
-	if err := set.SaveFile(out); err != nil {
+	if format == "v3" {
+		err = set.SaveFileV3(out)
+	} else {
+		err = set.SaveFile(out)
+	}
+	if err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s in %v\n", out, time.Since(start).Round(time.Millisecond))

@@ -13,7 +13,7 @@ import (
 
 func TestRunBuildsLoadableTables(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "set.json")
-	err := run(context.Background(), out, "m6", 2, "cu", "coplanar", 2, 1,
+	err := run(context.Background(), out, "v3", "m6", 2, "cu", "coplanar", 2, 1,
 		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 2, "")
 	if err != nil {
 		t.Fatal(err)
@@ -36,7 +36,7 @@ func TestRunBuildsLoadableTables(t *testing.T) {
 // config) fails here before it can poison a production library.
 func TestRoundTripBitForBit(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "set.json")
-	if err := run(context.Background(), out, "m6", 2, "cu", "coplanar", 2, 1,
+	if err := run(context.Background(), out, "v2", "m6", 2, "cu", "coplanar", 2, 1,
 		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 2, ""); err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestRunCacheHitSkipsSolves(t *testing.T) {
 	dir := t.TempDir()
 	cacheDir := filepath.Join(dir, "cache")
 	args := func(out string) error {
-		return run(context.Background(), out, "m6", 2, "cu", "coplanar", 2, 1,
+		return run(context.Background(), out, "v3", "m6", 2, "cu", "coplanar", 2, 1,
 			50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 1, cacheDir)
 	}
 	if err := args(filepath.Join(dir, "a.json")); err != nil {
@@ -129,12 +129,104 @@ func TestRunCacheHitSkipsSolves(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "set.json")
-	if err := run(context.Background(), out, "m6", 2, "unobtainium", "coplanar", 2, 1,
+	if err := run(context.Background(), out, "v3", "m6", 2, "unobtainium", "coplanar", 2, 1,
 		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 1, ""); err == nil {
 		t.Error("accepted unknown metal")
 	}
-	if err := run(context.Background(), out, "m6", 2, "cu", "waveguide", 2, 1,
+	if err := run(context.Background(), out, "v3", "m6", 2, "cu", "waveguide", 2, 1,
 		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 1, ""); err == nil {
 		t.Error("accepted unknown shielding")
+	}
+	if err := run(context.Background(), out, "v7", "m6", 2, "cu", "coplanar", 2, 1,
+		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 1, ""); err == nil {
+		t.Error("accepted unknown format")
+	}
+}
+
+// TestMigrateFileBitIdentical: `tablegen migrate` converts a v2 JSON
+// artifact to the v3 binary codec (and back) without perturbing a
+// single value bit.
+func TestMigrateFileBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	v2 := filepath.Join(dir, "set.json")
+	if err := run(context.Background(), v2, "v2", "m6", 2, "cu", "coplanar", 2, 1,
+		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 2, ""); err != nil {
+		t.Fatal(err)
+	}
+	v3 := filepath.Join(dir, "set.rlct")
+	if err := migrate(v2, v3, "v3"); err != nil {
+		t.Fatal(err)
+	}
+	back := filepath.Join(dir, "back.json")
+	if err := migrate(v3, back, "v2"); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := table.LoadFile(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{v3, back} {
+		got, err := table.LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range orig.Self.Vals {
+			if got.Self.Vals[k] != v {
+				t.Fatalf("%s: self[%d] drifted: %g != %g", path, k, got.Self.Vals[k], v)
+			}
+		}
+		for k, v := range orig.Mutual.Vals {
+			if got.Mutual.Vals[k] != v {
+				t.Fatalf("%s: mutual[%d] drifted: %g != %g", path, k, got.Mutual.Vals[k], v)
+			}
+		}
+		a, err1 := orig.SelfL(units.Um(1.7), units.Um(430))
+		b, err2 := got.SelfL(units.Um(1.7), units.Um(430))
+		if err1 != nil || err2 != nil || a != b {
+			t.Fatalf("%s: off-grid lookup drifted: %g vs %g (%v, %v)", path, a, b, err1, err2)
+		}
+		got.Close()
+	}
+	if err := migrate(v2, v3, "v9"); err == nil {
+		t.Error("accepted unknown target format")
+	}
+}
+
+// TestMigrateDir: directory mode converts a whole library in one call.
+func TestMigrateDir(t *testing.T) {
+	dir := t.TempDir()
+	v2 := filepath.Join(dir, "set.json")
+	if err := run(context.Background(), v2, "v2", "m6", 2, "cu", "coplanar", 2, 1,
+		50, 1, 4, 2, 1, 2, 2, 100, 1000, 3, 2, ""); err != nil {
+		t.Fatal(err)
+	}
+	srcDir := filepath.Join(dir, "lib")
+	set, err := table.LoadFile(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := table.NewLibrary()
+	if err := lib.Add(set); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.SaveDir(srcDir); err != nil {
+		t.Fatal(err)
+	}
+	dstDir := filepath.Join(dir, "lib3")
+	if err := migrate(srcDir, dstDir, "v3"); err != nil {
+		t.Fatal(err)
+	}
+	migrated, err := table.LoadDir(dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := migrated.Get("m6/coplanar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range set.Self.Vals {
+		if got.Self.Vals[k] != v {
+			t.Fatalf("self[%d] drifted through dir migration: %g != %g", k, got.Self.Vals[k], v)
+		}
 	}
 }

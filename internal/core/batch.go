@@ -80,14 +80,21 @@ func (b Batch) SegmentsRLCCtx(ctx context.Context, e *Extractor, segs []Segment)
 	return out, nil
 }
 
-// SegmentsRLC extracts a batch of segments on a GOMAXPROCS-wide
-// worker pool; see Batch for bounded pools and semantics.
+// SegmentsRLC extracts a batch of segments through the vectorized
+// path: R and C per segment on a GOMAXPROCS-wide worker pool, then
+// every loop inductance through the table layer's batch lookups (one
+// spline contraction pass per shielding group, repeated geometries
+// deduped). Results are bit-identical to a serial loop over
+// SegmentRLC, in input order; the first failing segment stops the
+// batch, identified by its index. Batch keeps the per-segment worker
+// pool for callers that need bounded fan-out of whole extractions.
 func (e *Extractor) SegmentsRLC(segs []Segment) ([]netlist.SegmentRLC, error) {
-	return Batch{}.SegmentsRLC(e, segs)
+	return e.segmentsRLCVectorized(context.Background(), segs)
 }
 
-// SegmentsRLCCtx is SegmentsRLC with cancellation; see
-// Batch.SegmentsRLCCtx.
+// SegmentsRLCCtx is SegmentsRLC honouring cancellation through the
+// R/C worker phase; the lookup phase is pure reads and runs to
+// completion.
 func (e *Extractor) SegmentsRLCCtx(ctx context.Context, segs []Segment) ([]netlist.SegmentRLC, error) {
-	return Batch{}.SegmentsRLCCtx(ctx, e, segs)
+	return e.segmentsRLCVectorized(ctx, segs)
 }

@@ -1,0 +1,108 @@
+package spline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// orderPool recycles the query-permutation slices EvalBatch sorts.
+// One pool serves every grid: the slice is resized to the batch at
+// hand and holds indices, not grid state.
+var orderPool = sync.Pool{New: func() any { return new([]int) }}
+
+// EvalBatch interpolates the table at nq = len(out) coordinate tuples
+// packed row-major into coords (len(coords) = nq*Dim(): query i's
+// coordinates are coords[i*Dim():(i+1)*Dim()]) and writes result i to
+// out[i].
+//
+// Each result is bit-identical to Eval(coords[i*Dim():...]) — the
+// batch path reuses Eval's weight construction and contraction
+// verbatim — but the batch amortises work across queries: queries are
+// visited in lexicographic coordinate order, so a per-axis cardinal
+// weight vector is rebuilt only when that axis' coordinate changes
+// between consecutive queries, and a query whose whole tuple repeats
+// the previous one copies its result without contracting at all.
+// Clock-tree workloads repeat a handful of segment geometries across
+// thousands of sinks, which is exactly the shape this exploits.
+//
+// Weight sharing is keyed on exact float equality only — never on
+// proximity — which is what keeps batch results bit-identical to the
+// scalar loop regardless of input order. coords and the grid are not
+// mutated; like Eval, EvalBatch is safe for concurrent use.
+func (g *Grid) EvalBatch(coords, out []float64) error {
+	dim := len(g.Axes)
+	nq := len(out)
+	if len(coords) != nq*dim {
+		return fmt.Errorf("spline: batch of %d queries over %d axes needs %d coordinates, got %d",
+			nq, dim, nq*dim, len(coords))
+	}
+	if nq == 0 {
+		return nil
+	}
+	gridEvals.Add(int64(nq))
+
+	op := orderPool.Get().(*[]int)
+	defer orderPool.Put(op)
+	order := *op
+	if cap(order) < nq {
+		order = make([]int, nq)
+		*op = order
+	}
+	order = order[:nq]
+	for i := range order {
+		order[i] = i
+	}
+	// Lexicographic coordinate order (input index breaks ties) makes
+	// identical tuples adjacent and maximises per-axis prefix sharing
+	// between neighbours.
+	sort.Slice(order, func(a, b int) bool {
+		qa, qb := order[a]*dim, order[b]*dim
+		for d := 0; d < dim; d++ {
+			if ca, cb := coords[qa+d], coords[qb+d]; ca != cb {
+				return ca < cb
+			}
+		}
+		return order[a] < order[b]
+	})
+
+	var stack [evalStackScratch]float64
+	scratch := stack[:]
+	if g.scratchLen > evalStackScratch {
+		p := g.pool.Get().(*[]float64)
+		defer g.pool.Put(p)
+		scratch = *p
+	}
+
+	prev := -1 // input index of the last query that contracted
+	for _, qi := range order {
+		q := coords[qi*dim : qi*dim+dim]
+		if prev >= 0 {
+			p := coords[prev*dim : prev*dim+dim]
+			same := true
+			for d := 0; d < dim; d++ {
+				if q[d] != p[d] {
+					same = false
+					break
+				}
+			}
+			if same {
+				out[qi] = out[prev]
+				continue
+			}
+		}
+		wOff := 0
+		for d, ax := range g.Axes {
+			// contract leaves scratch[:wOff] untouched, so an axis
+			// whose coordinate matches the previous query keeps its
+			// weight vector as-is.
+			if prev < 0 || coords[prev*dim+d] != q[d] {
+				axisWeights(ax, g.coef[d], q[d], scratch[wOff:wOff+len(ax)])
+			}
+			wOff += len(ax)
+		}
+		out[qi] = g.contract(scratch, wOff)
+		prev = qi
+	}
+	return nil
+}

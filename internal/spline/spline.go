@@ -148,6 +148,38 @@ const evalStackScratch = 512
 // NewGrid validates a table and precomputes its per-axis spline
 // coefficient matrices.
 func NewGrid(axes [][]float64, vals []float64) (*Grid, error) {
+	return newGrid(axes, vals, nil)
+}
+
+// NewGridWithCoef constructs a grid from axes, values and per-axis
+// coefficient matrices computed by an earlier NewGrid over the same
+// axes (Coef exports them). The matrices are validated for shape but
+// not recomputed, so a persisted grid reconstructs without solving a
+// single tridiagonal system — and, because secondDerivMatrix is
+// deterministic, a grid built this way evaluates bit-identically to
+// one built by NewGrid. coef may alias read-only memory (e.g. a file
+// mapping); NewGridWithCoef never writes through it.
+func NewGridWithCoef(axes [][]float64, vals []float64, coef [][]float64) (*Grid, error) {
+	if len(coef) != len(axes) {
+		return nil, fmt.Errorf("spline: %d coefficient matrices for %d axes", len(coef), len(axes))
+	}
+	for d, ax := range axes {
+		switch {
+		case len(ax) <= 1:
+			if len(coef[d]) != 0 {
+				return nil, fmt.Errorf("spline: axis %d is singleton but has %d coefficients", d, len(coef[d]))
+			}
+		case len(coef[d]) != len(ax)*len(ax):
+			return nil, fmt.Errorf("spline: axis %d needs a %d×%d coefficient matrix, got %d values",
+				d, len(ax), len(ax), len(coef[d]))
+		}
+	}
+	return newGrid(axes, vals, coef)
+}
+
+// newGrid is the shared constructor: coef == nil recomputes the
+// matrices, otherwise the (shape-validated) provided ones are adopted.
+func newGrid(axes [][]float64, vals []float64, coef [][]float64) (*Grid, error) {
 	if len(axes) == 0 {
 		return nil, errors.New("spline: grid needs at least one axis")
 	}
@@ -166,11 +198,14 @@ func NewGrid(axes [][]float64, vals []float64) (*Grid, error) {
 	if len(vals) != size {
 		return nil, fmt.Errorf("spline: grid needs %d values, got %d", size, len(vals))
 	}
-	g := &Grid{Axes: axes, Vals: vals, coef: make([][]float64, len(axes))}
+	g := &Grid{Axes: axes, Vals: vals, coef: coef}
+	if g.coef == nil {
+		g.coef = make([][]float64, len(axes))
+	}
 	wsum := 0
 	for d, ax := range axes {
 		wsum += len(ax)
-		if len(ax) > 1 {
+		if coef == nil && len(ax) > 1 {
 			g.coef[d] = secondDerivMatrix(ax)
 		}
 	}
@@ -184,6 +219,13 @@ func NewGrid(axes [][]float64, vals []float64) (*Grid, error) {
 	}
 	return g, nil
 }
+
+// Coef exports axis d's precomputed second-derivative matrix (nil for
+// singleton axes) so a codec can persist it next to the values and
+// reconstruct the grid with NewGridWithCoef, skipping the per-axis
+// tridiagonal solves at load. The returned slice is the grid's own
+// immutable state; callers must not modify it.
+func (g *Grid) Coef(d int) []float64 { return g.coef[d] }
 
 // secondDerivMatrix returns the dense row-major matrix M with
 // M[i][j] = second derivative at knot i of the natural cubic spline
@@ -264,11 +306,18 @@ func (g *Grid) Eval(coords ...float64) (float64, error) {
 		axisWeights(ax, g.coef[d], coords[d], scratch[wOff:wOff+len(ax)])
 		wOff += len(ax)
 	}
+	return g.contract(scratch, wOff), nil
+}
 
-	// Contract the value block one axis at a time, last (fastest-
-	// varying, unit-stride) axis first. The first pass reads g.Vals
-	// and writes the scratch tail; later passes shrink it in place
-	// (the write index never overtakes the read window).
+// contract folds the value block against the per-axis cardinal weight
+// vectors packed into scratch[:wOff], one axis at a time, last
+// (fastest-varying, unit-stride) axis first. The first pass reads
+// g.Vals and writes the scratch tail; later passes shrink it in place
+// (the write index never overtakes the read window). The weight
+// vectors in scratch[:wOff] are read-only here, so a caller may reuse
+// them across contractions. Shared by Eval and EvalBatch so both
+// perform the identical float operations in the identical order.
+func (g *Grid) contract(scratch []float64, wOff int) float64 {
 	buf := scratch[wOff:]
 	cur := g.Vals
 	curLen := len(g.Vals)
@@ -288,7 +337,7 @@ func (g *Grid) Eval(coords ...float64) (float64, error) {
 		cur = buf
 		curLen = lines
 	}
-	return cur[0], nil
+	return cur[0]
 }
 
 // axisWeights fills w (len(ax) wide) with the cardinal weights of the

@@ -1,0 +1,192 @@
+package table
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"clockrlc/internal/check"
+	"clockrlc/internal/units"
+)
+
+// batchLookupQueries builds n (w, l) self queries and n (w1, w2, sp,
+// l) mutual queries over ndistinct repeated geometries, mixing
+// in-range and out-of-range coordinates.
+func batchLookupQueries(rng *rand.Rand, s *Set, n, ndistinct int) (ws, ls, w1s, w2s, sps, mls []float64) {
+	type geo struct{ w, l, w1, w2, sp, ml float64 }
+	pick := func(ax []float64) float64 {
+		lo, hi := ax[0], ax[len(ax)-1]
+		switch r := rng.Float64(); {
+		case r < 0.12:
+			return lo * (0.4 + 0.5*rng.Float64())
+		case r > 0.88:
+			return hi * (1 + 0.4*rng.Float64())
+		default:
+			return lo + rng.Float64()*(hi-lo)
+		}
+	}
+	geos := make([]geo, ndistinct)
+	for i := range geos {
+		geos[i] = geo{
+			w: pick(s.Axes.Widths), l: pick(s.Axes.Lengths),
+			w1: pick(s.Axes.Widths), w2: pick(s.Axes.Widths),
+			sp: pick(s.Axes.Spacings), ml: pick(s.Axes.Lengths),
+		}
+	}
+	for i := 0; i < n; i++ {
+		g := geos[rng.Intn(ndistinct)]
+		ws, ls = append(ws, g.w), append(ls, g.l)
+		w1s, w2s = append(w1s, g.w1), append(w2s, g.w2)
+		sps, mls = append(sps, g.sp), append(mls, g.ml)
+	}
+	return
+}
+
+// TestLookupBatchMatchesScalarBitwise: under every lookup policy, the
+// batch lookups return bit-identical values to the scalar loop, and
+// advance the same counters by the same amounts.
+func TestLookupBatchMatchesScalarBitwise(t *testing.T) {
+	for _, policy := range []LookupPolicy{LookupExtrapolate, LookupClamp} {
+		s := syntheticSet(t)
+		s.Lookup = policy
+		rng := rand.New(rand.NewSource(42))
+		ws, ls, w1s, w2s, sps, mls := batchLookupQueries(rng, s, 200, 11)
+
+		wantSelf := make([]float64, len(ws))
+		for i := range ws {
+			v, err := s.SelfL(ws[i], ls[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSelf[i] = v
+		}
+		wantMut := make([]float64, len(w1s))
+		for i := range w1s {
+			v, err := s.MutualL(w1s[i], w2s[i], sps[i], mls[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantMut[i] = v
+		}
+
+		hits0, clamped0 := lookupHits.Value(), lookupClamped.Value()
+		gotSelf := make([]float64, len(ws))
+		if err := s.SelfLBatch(ws, ls, gotSelf); err != nil {
+			t.Fatalf("policy %v: %v", policy, err)
+		}
+		gotMut := make([]float64, len(w1s))
+		if err := s.MutualLBatch(w1s, w2s, sps, mls, gotMut); err != nil {
+			t.Fatalf("policy %v: %v", policy, err)
+		}
+		for i := range gotSelf {
+			if math.Float64bits(gotSelf[i]) != math.Float64bits(wantSelf[i]) {
+				t.Fatalf("policy %v SelfL query %d: batch %v != scalar %v (bitwise)", policy, i, gotSelf[i], wantSelf[i])
+			}
+		}
+		for i := range gotMut {
+			if math.Float64bits(gotMut[i]) != math.Float64bits(wantMut[i]) {
+				t.Fatalf("policy %v MutualL query %d: batch %v != scalar %v (bitwise)", policy, i, gotMut[i], wantMut[i])
+			}
+		}
+		// The batch pass classifies exactly like the scalar pass did.
+		batchHits := lookupHits.Value() - hits0
+		batchClamped := lookupClamped.Value() - clamped0
+		if batchHits+batchClamped != int64(len(ws)+len(w1s)) {
+			t.Errorf("policy %v: counters classified %d lookups, want %d",
+				policy, batchHits+batchClamped, len(ws)+len(w1s))
+		}
+	}
+}
+
+// TestLookupBatchErrorPolicy: under LookupError the batch stops at the
+// first out-of-range query in input order with a *BatchError that
+// unwraps to ErrOutOfRange, exactly as the scalar loop would.
+func TestLookupBatchErrorPolicy(t *testing.T) {
+	s := syntheticSet(t)
+	s.Lookup = LookupError
+	wOK, lOK := units.Um(2), units.Um(300)
+	wBad := units.Um(40) // beyond the 4 µm width axis
+
+	ws := []float64{wOK, wOK, wBad, wOK}
+	ls := []float64{lOK, lOK, lOK, lOK}
+	out := make([]float64, 4)
+	errs0 := lookupOOBErrors.Value()
+	err := s.SelfLBatch(ws, ls, out)
+	if err == nil {
+		t.Fatal("want error for out-of-range query under LookupError")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) || be.Index != 2 {
+		t.Fatalf("got %v, want *BatchError with Index 2", err)
+	}
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("%v does not unwrap to ErrOutOfRange", err)
+	}
+	if got := lookupOOBErrors.Value() - errs0; got != 1 {
+		t.Errorf("lookup_oob_errors += %d, want 1", got)
+	}
+
+	// Mutual variant, and the scalar error text is preserved inside.
+	w1s := []float64{wOK, wBad}
+	one := make([]float64, 2)
+	err = s.MutualLBatch(w1s, []float64{wOK, wOK}, []float64{units.Um(1.5), units.Um(1.5)}, []float64{lOK, lOK}, one)
+	if !errors.As(err, &be) || be.Index != 1 || !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("MutualLBatch: got %v", err)
+	}
+	if !strings.Contains(err.Error(), "outside table") {
+		t.Errorf("batch error lost the scalar diagnosis: %v", err)
+	}
+}
+
+func TestLookupBatchRejectsBadArgs(t *testing.T) {
+	s := syntheticSet(t)
+	// Mismatched slice lengths.
+	if err := s.SelfLBatch([]float64{1}, []float64{1, 2}, make([]float64, 2)); err == nil {
+		t.Error("want error for mismatched slice lengths")
+	}
+	// Non-positive and NaN coordinates name the offending query.
+	var be *BatchError
+	err := s.SelfLBatch([]float64{units.Um(1), -1}, []float64{units.Um(100), units.Um(100)}, make([]float64, 2))
+	if !errors.As(err, &be) || be.Index != 1 {
+		t.Fatalf("got %v, want *BatchError at index 1", err)
+	}
+	err = s.MutualLBatch([]float64{math.NaN()}, []float64{1}, []float64{1}, []float64{1}, make([]float64, 1))
+	if !errors.As(err, &be) || be.Index != 0 {
+		t.Fatalf("NaN: got %v, want *BatchError at index 0", err)
+	}
+	// Empty batches are fine.
+	if err := s.SelfLBatch(nil, nil, nil); err != nil {
+		t.Error(err)
+	}
+	if err := s.MutualLBatch(nil, nil, nil, nil, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLookupBatchArmedCheck: the armed value checks fire on batch
+// results exactly as on scalar ones.
+func TestLookupBatchArmedCheck(t *testing.T) {
+	defer check.SetPolicy(check.Off)
+	check.SetPolicy(check.Off)
+	s := syntheticSet(t)
+	// Poison one self value so the interpolant goes non-positive right
+	// at a knot.
+	vals := append([]float64(nil), s.Self.Vals...)
+	vals[0] = -1e-9
+	rebuilt := syntheticSet(t)
+	copy(rebuilt.Self.Vals, vals)
+	rebuildSelf(t, rebuilt)
+
+	check.SetPolicy(check.Strict)
+	out := make([]float64, 1)
+	err := rebuilt.SelfLBatch([]float64{rebuilt.Axes.Widths[0]}, []float64{rebuilt.Axes.Lengths[0]}, out)
+	if !errors.Is(err, check.ErrViolation) {
+		t.Fatalf("strict batch lookup of a non-positive value: got %v, want ErrViolation", err)
+	}
+	var be *BatchError
+	if !errors.As(err, &be) || be.Index != 0 {
+		t.Errorf("violation does not name the query: %v", err)
+	}
+}

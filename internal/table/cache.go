@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"clockrlc/internal/check"
 	"clockrlc/internal/fault"
 	"clockrlc/internal/geom"
 	"clockrlc/internal/obs"
@@ -91,7 +92,10 @@ func CacheKey(cfg Config, axes Axes) (string, error) {
 		return "", err
 	}
 	rec := cacheKeyRecord{
-		FormatVersion:  formatVersion,
+		// Entries are stored in the v3 binary codec; bumping this
+		// retired every v2 JSON entry at once (they re-key, miss, and
+		// rebuild) instead of half-reading them.
+		FormatVersion:  formatVersionV3,
 		Thickness:      cfg.Thickness,
 		Rho:            cfg.Rho,
 		Shielding:      cfg.Shielding,
@@ -137,8 +141,11 @@ func NewCache(dir string) (*Cache, error) {
 // Dir returns the cache's root directory.
 func (c *Cache) Dir() string { return c.dir }
 
-// Path returns the on-disk location of a key's entry.
-func (c *Cache) Path(key string) string { return filepath.Join(c.dir, key+".json") }
+// Path returns the on-disk location of a key's entry. Entries are v3
+// binaries (.rlct) so a hit mmaps instead of parsing; the extension
+// change is safe because the FormatVersion bump re-keyed everything
+// anyway.
+func (c *Cache) Path(key string) string { return filepath.Join(c.dir, key+".rlct") }
 
 // Get looks up the set (cfg, axes) addresses. A missing entry is
 // (nil, false, nil); a present entry that fails to load, fails its
@@ -177,6 +184,12 @@ func (c *Cache) GetCtx(ctx context.Context, cfg Config, axes Axes) (*Set, bool, 
 		case errors.Is(err, fs.ErrNotExist):
 			cacheMisses.Inc()
 			return nil, false, nil
+		case errors.Is(err, check.ErrViolation):
+			// The entry is well-formed — its checksum verified — but
+			// its values fail the strict-policy physical-invariant
+			// audit. That is not corruption, and silently rebuilding
+			// would bypass the user's strict policy: fail loudly.
+			return nil, false, err
 		case fault.IsTransient(err):
 			cacheIOErrs.Inc()
 			cacheMisses.Inc()
@@ -221,7 +234,7 @@ func (c *Cache) PutCtx(ctx context.Context, s *Set) error {
 		if err := fault.Check(fault.CacheWrite); err != nil {
 			return err
 		}
-		return s.SaveFile(c.Path(key))
+		return s.SaveFileV3(c.Path(key))
 	})
 	if err != nil {
 		return err
@@ -252,6 +265,12 @@ func (c *Cache) GetOrBuildCtx(ctx context.Context, cfg Config, axes Axes, o *obs
 	ctx, sp := o.StartCtx(ctx, "table.cache")
 	sp.SetAttr("name", cfg.Name)
 	defer sp.End()
+	// Record the content address on hit AND miss, so obsreport traces
+	// can correlate cache entries across runs (an invalid cfg/axes pair
+	// fails the probe below with the same error; no attr needed then).
+	if key, kerr := CacheKey(cfg, axes); kerr == nil {
+		sp.SetAttr("key", key)
+	}
 	s, ok, err := c.GetCtx(ctx, cfg, axes)
 	if err != nil {
 		return nil, err

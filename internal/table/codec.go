@@ -1,6 +1,8 @@
 package table
 
 import (
+	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -109,10 +111,28 @@ func (s *Set) SaveFile(path string) error {
 	return nil
 }
 
-// load decodes and validates a record; errors carry no "table:"
-// prefix so Load and LoadFile can each frame them (LoadFile names the
-// file, per the contract that a bad artifact identifies itself).
+// load decodes and validates a record, sniffing the v3 binary magic
+// to route between the codecs (a JSON document can never begin with
+// 'R'); errors carry no "table:" prefix so Load and LoadFile can each
+// frame them (LoadFile names the file, per the contract that a bad
+// artifact identifies itself).
 func load(r io.Reader) (*Set, error) {
+	br := bufio.NewReader(r)
+	if head, err := br.Peek(len(v3Magic)); err == nil && bytes.Equal(head, v3Magic[:]) {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("read: %w", err)
+		}
+		// v3Floats copies any block the buffer leaves unaligned, so an
+		// arbitrary reader is fine here; the zero-copy fast path is
+		// LoadFile's.
+		return loadV3(data, nil)
+	}
+	return loadJSON(br)
+}
+
+// loadJSON decodes the legacy v1/v2 JSON record.
+func loadJSON(r io.Reader) (*Set, error) {
 	var ff fileFormat
 	if err := json.NewDecoder(r).Decode(&ff); err != nil {
 		return nil, fmt.Errorf("decode: %w", err)
@@ -176,21 +196,34 @@ func Load(r io.Reader) (*Set, error) {
 	return s, nil
 }
 
-// LoadFile reads a set from a file path. Every failure — decode,
-// integrity, or (when the check engine is armed) a physical-invariant
-// audit — names the file, so a bad artifact in a multi-file library
-// is identifiable.
+// LoadFile reads a set from a file path. v3 files take the zero-copy
+// path: the file is mmap'd (plain aligned read where mmap is
+// unavailable) and the grids point straight into the image — release
+// with Set.Close. Every failure — decode, integrity, or (when the
+// check engine is armed) a physical-invariant audit — names the file,
+// so a bad artifact in a multi-file library is identifiable.
 func LoadFile(path string) (*Set, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("table: %w", err)
 	}
 	defer f.Close()
-	s, err := load(f)
+	var head [8]byte
+	n, _ := io.ReadFull(f, head[:])
+	var s *Set
+	if n == len(head) && head == v3Magic {
+		s, err = loadFileV3(f)
+	} else {
+		if _, serr := f.Seek(0, io.SeekStart); serr != nil {
+			return nil, fmt.Errorf("table: %s: %w", path, serr)
+		}
+		s, err = loadJSON(f)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("table: %s: %w", path, err)
 	}
 	if err := s.reportAudit(check.Active()); err != nil {
+		s.Close()
 		return nil, fmt.Errorf("table: %s: %w", path, err)
 	}
 	return s, nil

@@ -66,8 +66,14 @@ func (l *Library) Len() int { return len(l.sets) }
 // "a\\b" vs "a_b") can never collapse onto the same file and SaveDir
 // can never silently overwrite one set with another.
 func fileName(name string) string {
+	return fileNameExt(name, ".json")
+}
+
+// fileNameExt is fileName with a caller-chosen extension (".json" for
+// the legacy codec, ".rlct" for v3 binaries).
+func fileNameExt(name, ext string) string {
 	var b strings.Builder
-	b.Grow(len(name) + len(".json"))
+	b.Grow(len(name) + len(ext))
 	for i := 0; i < len(name); i++ {
 		switch ch := name[i]; {
 		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z',
@@ -77,7 +83,7 @@ func fileName(name string) string {
 			fmt.Fprintf(&b, "%%%02X", ch)
 		}
 	}
-	b.WriteString(".json")
+	b.WriteString(ext)
 	return b.String()
 }
 
@@ -88,25 +94,39 @@ func fileName(name string) string {
 // merge names differing only by letter case, so that is rejected up
 // front instead of overwriting silently.
 func (l *Library) SaveDir(dir string) error {
+	return l.saveDir(dir, ".json", (*Set).SaveFile)
+}
+
+// SaveDirV3 writes every set to dir in the v3 binary format, one
+// .rlct file per set, with the same atomicity and collision checks as
+// SaveDir.
+func (l *Library) SaveDirV3(dir string) error {
+	return l.saveDir(dir, ".rlct", (*Set).SaveFileV3)
+}
+
+func (l *Library) saveDir(dir, ext string, save func(*Set, string) error) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("table: %w", err)
 	}
 	used := map[string]string{} // folded file name → set name
 	for _, name := range l.Names() {
-		fn := fileName(name)
+		fn := fileNameExt(name, ext)
 		folded := strings.ToLower(fn)
 		if prev, dup := used[folded]; dup {
 			return fmt.Errorf("table: set names %q and %q both map to file %q on a case-insensitive filesystem; rename one set", prev, name, fn)
 		}
 		used[folded] = name
-		if err := l.sets[name].SaveFile(filepath.Join(dir, fn)); err != nil {
+		if err := save(l.sets[name], filepath.Join(dir, fn)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// LoadDir reads every *.json table set in dir into a new library.
+// LoadDir reads every *.json (legacy codec) and *.rlct (v3 binary)
+// table set in dir into a new library. LoadFile already frames its
+// errors with "table: <path>: …", so they pass through unwrapped here
+// — re-framing them would stutter the prefix.
 func LoadDir(dir string) (*Library, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -114,12 +134,12 @@ func LoadDir(dir string) (*Library, error) {
 	}
 	l := NewLibrary()
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+		if e.IsDir() || (!strings.HasSuffix(e.Name(), ".json") && !strings.HasSuffix(e.Name(), ".rlct")) {
 			continue
 		}
 		s, err := LoadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
-			return nil, fmt.Errorf("table: %s: %w", e.Name(), err)
+			return nil, err
 		}
 		if err := l.Add(s); err != nil {
 			return nil, err

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package table
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile is unavailable off unix; loadFileV3 falls back to an aligned
+// plain read, which is still parse-free and solve-free.
+func mapFile(*os.File) ([]byte, func() error, error) {
+	return nil, nil, errors.New("mmap unsupported on this platform")
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package table
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only. The mapping is page-aligned (so every
+// 8-aligned file offset stays 8-aligned in memory) and private: cache
+// entries are immutable and replaced only by atomic rename to a new
+// inode, so the mapped bytes can never change under us. The returned
+// release function is the matching munmap.
+func mapFile(f *os.File) ([]byte, func() error, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("unmappable file size %d", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

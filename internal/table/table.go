@@ -273,6 +273,10 @@ type Set struct {
 	// sharing the Set across goroutines; it is not persisted by the
 	// codec.
 	Lookup LookupPolicy
+
+	// unmap releases the file mapping backing a zero-copy v3 load
+	// (nil for heap-backed sets). See Mapped and Close in codecv3.go.
+	unmap func() error
 }
 
 // Build sweeps the numerical engine over the axes and assembles the
@@ -570,7 +574,9 @@ func clampTo(ax []float64, v float64) float64 {
 // counted. When the process check engine is armed, the looked-up value
 // itself is checked finite and positive.
 func (s *Set) SelfL(w, l float64) (float64, error) {
-	if w <= 0 || l <= 0 {
+	// The negated form also rejects NaN arguments (NaN > 0 is false),
+	// which would otherwise panic the spline's bracket search.
+	if !(w > 0) || !(l > 0) {
 		return 0, fmt.Errorf("table: SelfL arguments must be positive (w=%g, l=%g)", w, l)
 	}
 	if err := fault.Check(fault.SplineLookup); err != nil {
@@ -616,7 +622,8 @@ func (s *Set) SelfL(w, l float64) (float64, error) {
 // Out-of-range coordinates follow s.Lookup as in SelfL; armed checks
 // require the value finite and non-negative.
 func (s *Set) MutualL(w1, w2, sp, l float64) (float64, error) {
-	if w1 <= 0 || w2 <= 0 || sp <= 0 || l <= 0 {
+	// As in SelfL, the negated form also rejects NaN.
+	if !(w1 > 0) || !(w2 > 0) || !(sp > 0) || !(l > 0) {
 		return 0, fmt.Errorf("table: MutualL arguments must be positive (w1=%g, w2=%g, s=%g, l=%g)", w1, w2, sp, l)
 	}
 	if err := fault.Check(fault.SplineLookup); err != nil {

@@ -165,3 +165,32 @@ END {
 
 echo "wrote $trace_out:"
 cat "$trace_out"
+
+# Mmap/batch pass: the v3 binary codec's library-open time against the
+# v2 JSON parse, and the vectorized batch lookup's per-query cost
+# against the scalar loop (1024 segments, 16 distinct geometries).
+# Written to BENCH_mmap.json; both "speedup" keys are higher-is-better
+# under benchdiff.
+mmap_out=BENCH_mmap.json
+
+mmap_raw=$(go test -run '^$' -bench 'BenchmarkLibraryOpen/(v2|v3)$' -benchtime 30x -count 3 .)
+echo "$mmap_raw"
+batch_raw=$(go test -run '^$' -bench 'BenchmarkLookupBatch/(scalar|batch)$' -benchtime 20x -count 3 .)
+echo "$batch_raw"
+
+{ echo "$mmap_raw"; echo "$batch_raw"; } | awk '
+function nsq(v) { for (i = 2; i <= NF; i++) if ($i == "ns/q") v = $(i-1); return v }
+/BenchmarkLibraryOpen\/v2/   { if (v2 == 0 || $3 < v2) v2 = $3 }
+/BenchmarkLibraryOpen\/v3/   { if (v3 == 0 || $3 < v3) v3 = $3 }
+/BenchmarkLookupBatch\/scalar/ { q = nsq(0); if (scalar == 0 || q < scalar) scalar = q }
+/BenchmarkLookupBatch\/batch/  { q = nsq(0); if (batch == 0 || q < batch) batch = q }
+END {
+  if (v2 == 0 || v3 == 0 || scalar == 0 || batch == 0) {
+    print "bench.sh: missing mmap benchmark output" > "/dev/stderr"
+    exit 1
+  }
+  printf "{\n  \"library_open_v2_ns_per_op\": %d,\n  \"library_open_ns_per_op\": %d,\n  \"library_open_speedup_vs_v2\": %.2f,\n  \"lookup_scalar_ns_per_op\": %d,\n  \"lookup_batch_ns_per_op\": %d,\n  \"lookup_batch_speedup_vs_v2\": %.2f\n}\n", v2, v3, v2 / v3, scalar, batch, scalar / batch
+}' >"$mmap_out"
+
+echo "wrote $mmap_out:"
+cat "$mmap_out"
