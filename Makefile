@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 vet build test race roundtrip chaos fuzz bench bench-obs bench-check clean
+.PHONY: all tier1 vet build test race roundtrip chaos fuzz bench bench-obs bench-check serve clean
 
 all: tier1
 
@@ -60,10 +60,19 @@ bench:
 # layer's no-overhead requirement and writes BENCH_obs.json plus the
 # spline-lookup/parallel-build numbers in BENCH_spline.json, the
 # cold-vs-cache-hit extractor construction numbers in BENCH_cache.json,
-# the fault/check-layer ratios, and the ctx-span trace-overhead numbers
-# in BENCH_trace.json.
+# the fault/check-layer ratios, the ctx-span trace-overhead numbers in
+# BENCH_trace.json, and the end-to-end daemon throughput/latency
+# numbers in BENCH_serve.json.
 bench-obs:
 	./scripts/bench.sh
+
+# serve runs the extraction daemon on ADDR (override: make serve
+# ADDR=:8650 CACHE=/var/cache/rlcx) with the content-addressed table
+# cache, ready for rlcxload or a CTS flow's HTTP client.
+ADDR ?= 127.0.0.1:8650
+CACHE ?= .rlcx-cache
+serve:
+	$(GO) run ./cmd/rlcxd -addr $(ADDR) -cache $(CACHE)
 
 # bench-check is the regression gate: compares the freshly measured
 # BENCH_*.json files (run `make bench-obs` first) against the committed
@@ -74,4 +83,4 @@ bench-check:
 	$(GO) run ./cmd/benchdiff -baseline bench/baseline -current .
 
 clean:
-	rm -f BENCH_obs.json BENCH_spline.json BENCH_cache.json BENCH_fault.json BENCH_check.json BENCH_trace.json BENCH_mmap.json
+	rm -f BENCH_obs.json BENCH_spline.json BENCH_cache.json BENCH_fault.json BENCH_check.json BENCH_trace.json BENCH_mmap.json BENCH_serve.json

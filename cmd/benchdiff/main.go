@@ -43,14 +43,21 @@ func main() {
 	fmt.Printf("\nbenchdiff: all metrics within %.0f%% of baseline\n", *threshold*100)
 }
 
-// skipKeys are host descriptors recorded alongside the measurements;
-// they describe the machine, not the code, and never gate.
-var skipKeys = map[string]bool{"cpu_cores": true}
+// skipKeys are host and workload descriptors recorded alongside the
+// measurements; they describe the machine or the load shape, not the
+// code, and never gate.
+var skipKeys = map[string]bool{
+	"cpu_cores":   true,
+	"requests":    true,
+	"concurrency": true,
+	"batch":       true,
+	"errors":      true, // any nonzero count fails the load run itself
+}
 
 // higherIsBetter reports whether a larger value of the named metric is
 // an improvement.
 func higherIsBetter(key string) bool {
-	return strings.Contains(key, "speedup")
+	return strings.Contains(key, "speedup") || strings.Contains(key, "throughput")
 }
 
 // diff compares every BENCH_*.json present in baselineDir against its

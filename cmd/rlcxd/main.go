@@ -1,0 +1,148 @@
+// Command rlcxd serves clocktree RLC extraction over HTTP/JSON: a
+// resident daemon holding mmapped table sets in a refcounted registry
+// over the content-addressed cache, so a CTS flow extracts thousands
+// of nets against tables that are built (or mapped) once.
+//
+// Endpoints: POST /v1/extract (one segment), POST /v1/batch (a batch
+// at one rise time), GET /healthz, GET /metrics (Prometheus text),
+// /debug/vars and /debug/pprof/*.
+//
+// Example:
+//
+//	rlcxd -addr :8650 -cache /var/cache/rlcx
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
+// requests finish (bounded by -drain), table mappings are released,
+// and the process exits 130/143 so supervisors can tell a stop from a
+// crash. A second signal exits immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"clockrlc/internal/check"
+	"clockrlc/internal/cliobs"
+	"clockrlc/internal/core"
+	"clockrlc/internal/obs"
+	"clockrlc/internal/serve"
+	"clockrlc/internal/table"
+	"clockrlc/internal/units"
+)
+
+func main() {
+	obsFlags := cliobs.AddFlags(flag.CommandLine)
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8650", "listen `address` (host:port; :0 picks a free port)")
+		cacheDir  = flag.String("cache", "", "content-addressed table cache `directory` (empty: build in memory only)")
+		maxSets   = flag.Int("max-sets", 64, "resident table sets before LRU eviction (0 = unbounded)")
+		workers   = flag.Int("workers", 0, "table-build worker pool size (0 = GOMAXPROCS)")
+		thickness = flag.Float64("thickness", 2, "metal thickness (µm)")
+		capHeight = flag.Float64("caph", 2, "height over the capacitive reference (µm)")
+		lookupPol = flag.String("lookup-policy", "extrapolate",
+			"default out-of-range table lookup `policy`: extrapolate, clamp or error (requests may override)")
+		drain = flag.Duration("drain", 30*time.Second, "graceful-shutdown `timeout` for in-flight requests")
+	)
+	flag.Parse()
+	sd := cliobs.NotifyShutdown()
+	sess, err := obsFlags.Start("rlcxd")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlcxd:", err)
+		os.Exit(cliobs.ExitFailure)
+	}
+	err = run(sess.Context(sd.Context()), *addr, *cacheDir, *maxSets, *workers,
+		*thickness, *capHeight, obsFlags.Check, *lookupPol, *drain)
+	sess.Close()
+	sd.Stop()
+	if err != nil {
+		if code := sd.ExitCode(err); code >= 128 {
+			// Signal-initiated stop after a clean drain: not a failure,
+			// but the exit code tells the supervisor which signal.
+			fmt.Fprintln(os.Stderr, "rlcxd: drained and stopped on signal")
+			os.Exit(code)
+		}
+		fmt.Fprintln(os.Stderr, "rlcxd:", err)
+		os.Exit(sd.ExitCode(err))
+	}
+}
+
+func run(ctx context.Context, addr, cacheDir string, maxSets, workers int,
+	thickness, capHeight float64, checkPol, lookupPol string, drain time.Duration) error {
+	checkPolicy, err := check.ParsePolicy(checkPol)
+	if err != nil {
+		return fmt.Errorf("-check: %w", err)
+	}
+	lp, err := table.ParseLookupPolicy(lookupPol)
+	if err != nil {
+		return fmt.Errorf("-lookup-policy: %w", err)
+	}
+	var cache *table.Cache
+	if cacheDir != "" {
+		cache, err = table.NewCache(cacheDir)
+		if err != nil {
+			return fmt.Errorf("-cache: %w", err)
+		}
+	}
+	s, err := serve.New(serve.Config{
+		Tech: core.Technology{
+			Thickness:      units.Um(thickness),
+			Rho:            units.RhoCopper,
+			EpsRel:         units.EpsSiO2,
+			CapHeight:      units.Um(capHeight),
+			PlaneGap:       units.Um(2),
+			PlaneThickness: units.Um(1),
+		},
+		Cache:         cache,
+		MaxSets:       maxSets,
+		Workers:       workers,
+		DefaultCheck:  checkPolicy,
+		DefaultLookup: lp,
+		Observer:      obs.Default(),
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-addr: %w", err)
+	}
+	// The line scripts parse for the bound port — keep the format.
+	fmt.Printf("rlcxd: listening on %s\n", ln.Addr())
+
+	// Requests deliberately do NOT inherit the shutdown context: the
+	// first signal stops accepting but lets in-flight extractions
+	// finish inside the drain budget. The second-signal hard exit in
+	// cliobs remains the escape hatch.
+	srv := &http.Server{Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("rlcxd: serve: %w", err)
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		srv.Close()
+		return fmt.Errorf("rlcxd: drain: %w", err)
+	}
+	if err := s.Drain(drainCtx); err != nil {
+		return fmt.Errorf("rlcxd: drain: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	// A signal-initiated stop exits 130/143 via the cancellation
+	// surfacing through ExitCode.
+	return ctx.Err()
+}

@@ -1,0 +1,335 @@
+// Command rlcxload drives an rlcxd daemon with concurrent batch
+// extraction requests and reports throughput and latency percentiles
+// as JSON — the serve-mode benchmark harness, and a cold-cache
+// coalescing probe (every worker's first request misses the same
+// table keys; the daemon must run one solver sweep per unique key).
+//
+// Example:
+//
+//	rlcxd -addr 127.0.0.1:8650 -cache /tmp/c &
+//	rlcxload -addr 127.0.0.1:8650 -n 2000 -c 32 -batch 8
+//
+// With -inprocess the same workload also runs directly against the
+// core batch API in this process (same technology, same axes), and
+// the report adds the served-over-in-process p50 ratio — the HTTP,
+// JSON and registry overhead per request.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clockrlc/internal/cliobs"
+	"clockrlc/internal/core"
+	"clockrlc/internal/geom"
+	"clockrlc/internal/table"
+	"clockrlc/internal/units"
+)
+
+// segmentJSON mirrors the serve wire schema (the cmd speaks the wire
+// format rather than importing the serve types: a load generator
+// should exercise the contract, not share the implementation).
+type segmentJSON struct {
+	LengthUm      float64 `json:"length_um"`
+	SignalWidthUm float64 `json:"signal_width_um"`
+	GroundWidthUm float64 `json:"ground_width_um"`
+	SpacingUm     float64 `json:"spacing_um"`
+	Shielding     string  `json:"shielding,omitempty"`
+}
+
+type batchJSON struct {
+	RiseTimePs float64       `json:"rise_time_ps"`
+	Segments   []segmentJSON `json:"segments"`
+}
+
+// report is the emitted measurement; the serve bench pass commits
+// these fields to BENCH_serve.json.
+type report struct {
+	Requests       int     `json:"requests"`
+	Concurrency    int     `json:"concurrency"`
+	Batch          int     `json:"batch"`
+	Errors         int64   `json:"errors"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	P50Ns          int64   `json:"p50_ns"`
+	P90Ns          int64   `json:"p90_ns"`
+	P99Ns          int64   `json:"p99_ns"`
+	InProcessP50Ns int64   `json:"inprocess_p50_ns,omitempty"`
+	VsInProcessP50 float64 `json:"serve_vs_inprocess_p50,omitempty"`
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8650", "rlcxd `address` (host:port)")
+		n         = flag.Int("n", 2000, "total requests")
+		c         = flag.Int("c", 32, "concurrent workers")
+		batch     = flag.Int("batch", 8, "segments per request")
+		tr        = flag.Float64("tr", 50, "rise time (ps)")
+		warm      = flag.Int("warm", 64, "warmup requests excluded from the measurement")
+		inprocess = flag.Bool("inprocess", false, "also run the workload against the in-process batch API and report the p50 ratio")
+		out       = flag.String("o", "", "write the JSON report to `file` (default stdout)")
+	)
+	flag.Parse()
+	sd := cliobs.NotifyShutdown()
+	defer sd.Stop()
+	rep, err := run(sd.Context(), *addr, *n, *c, *batch, *tr, *warm, *inprocess)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlcxload:", err)
+		os.Exit(sd.ExitCode(err))
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlcxload:", err)
+		os.Exit(cliobs.ExitFailure)
+	}
+	b = append(b, '\n')
+	if *out != "" {
+		err = os.WriteFile(*out, b, 0o644)
+	} else {
+		_, err = os.Stdout.Write(b)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlcxload:", err)
+		os.Exit(cliobs.ExitFailure)
+	}
+}
+
+// segments cycles a small pool of realistic geometries (all inside
+// the default axes) with mixed shielding so the daemon exercises more
+// than one table set.
+func segments(batch, seed int) []segmentJSON {
+	pool := []segmentJSON{
+		{LengthUm: 6000, SignalWidthUm: 10, GroundWidthUm: 5, SpacingUm: 1},
+		{LengthUm: 2000, SignalWidthUm: 4, GroundWidthUm: 4, SpacingUm: 2},
+		{LengthUm: 800, SignalWidthUm: 2, GroundWidthUm: 2, SpacingUm: 1.5},
+		{LengthUm: 4000, SignalWidthUm: 6, GroundWidthUm: 3, SpacingUm: 1.2, Shielding: "microstrip"},
+		{LengthUm: 1500, SignalWidthUm: 3, GroundWidthUm: 3, SpacingUm: 2.5, Shielding: "microstrip"},
+	}
+	segs := make([]segmentJSON, batch)
+	for i := range segs {
+		segs[i] = pool[(seed+i)%len(pool)]
+	}
+	return segs
+}
+
+func run(ctx context.Context, addr string, n, c, batch int, tr float64, warm int, inprocess bool) (*report, error) {
+	if n <= 0 || c <= 0 || batch <= 0 {
+		return nil, fmt.Errorf("-n, -c and -batch must be positive")
+	}
+	url := "http://" + addr + "/v1/batch"
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	post := func(seed int) error {
+		body, err := json.Marshal(batchJSON{RiseTimePs: tr, Segments: segments(batch, seed)})
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d: %s", resp.StatusCode, out)
+		}
+		return nil
+	}
+
+	// Warmup builds (or maps) the daemon's table sets and fills
+	// connection pools; run it at full concurrency so a cold daemon
+	// also demonstrates miss coalescing.
+	if err := fanout(ctx, warm, c, func(i int) (time.Duration, error) {
+		t0 := time.Now()
+		err := post(i)
+		return time.Since(t0), err
+	}, nil); err != nil {
+		return nil, fmt.Errorf("warmup: %w", err)
+	}
+
+	lat := make([]time.Duration, n)
+	var errs atomic.Int64
+	t0 := time.Now()
+	err := fanout(ctx, n, c, func(i int) (time.Duration, error) {
+		s0 := time.Now()
+		err := post(i)
+		return time.Since(s0), err
+	}, func(i int, d time.Duration, err error) {
+		lat[i] = d
+		if err != nil {
+			errs.Add(1)
+		}
+	})
+	wall := time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("%d of %d requests failed; first: %w", errs.Load(), n, err)
+	}
+
+	rep := &report{
+		Requests:      n,
+		Concurrency:   c,
+		Batch:         batch,
+		Errors:        errs.Load(),
+		ThroughputRPS: float64(n) / wall.Seconds(),
+		P50Ns:         percentile(lat, 50),
+		P90Ns:         percentile(lat, 90),
+		P99Ns:         percentile(lat, 99),
+	}
+	if inprocess {
+		p50, err := inProcessP50(ctx, n, c, batch, tr)
+		if err != nil {
+			return nil, fmt.Errorf("in-process pass: %w", err)
+		}
+		rep.InProcessP50Ns = p50
+		if p50 > 0 {
+			rep.VsInProcessP50 = float64(rep.P50Ns) / float64(p50)
+		}
+	}
+	return rep, nil
+}
+
+// fanout runs n calls across c workers, recording each result through
+// done (when non-nil), and returns the first error (workers keep
+// draining their claims; a load run wants the full error count, not a
+// stop at the first failure).
+func fanout(ctx context.Context, n, c int, call func(i int) (time.Duration, error),
+	done func(i int, d time.Duration, err error)) error {
+	if n == 0 {
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		wgFirst error
+	)
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				d, err := call(i)
+				if done != nil {
+					done(i, d, err)
+				}
+				if err != nil {
+					errMu.Lock()
+					if wgFirst == nil {
+						wgFirst = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return wgFirst
+}
+
+func percentile(lat []time.Duration, p int) int64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(lat))
+	copy(s, lat)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (len(s) - 1) * p / 100
+	return s[idx].Nanoseconds()
+}
+
+// inProcessP50 runs the same batches straight through the vectorized
+// core batch API — same technology, axes and table physics as the
+// daemon's defaults — and reports the p50 per-batch latency. The
+// daemon's warm p50 over this number is the service overhead.
+func inProcessP50(ctx context.Context, n, c, batch int, tr float64) (int64, error) {
+	tech := core.Technology{
+		Thickness:      units.Um(2),
+		Rho:            units.RhoCopper,
+		EpsRel:         units.EpsSiO2,
+		CapHeight:      units.Um(2),
+		PlaneGap:       units.Um(2),
+		PlaneThickness: units.Um(1),
+	}
+	freq := units.SignificantFrequency(tr * units.PicoSecond)
+	axes := table.DefaultAxes()
+	var sets []*table.Set
+	for _, sh := range []geom.Shielding{geom.ShieldNone, geom.ShieldMicrostrip} {
+		cfg := table.Config{
+			Name:           "rlcxload/" + sh.String(),
+			Thickness:      tech.Thickness,
+			Rho:            tech.Rho,
+			Shielding:      sh,
+			PlaneGap:       tech.PlaneGap,
+			PlaneThickness: tech.PlaneThickness,
+			Frequency:      freq,
+		}
+		set, err := table.BuildCtx(ctx, cfg, axes, nil)
+		if err != nil {
+			return 0, err
+		}
+		sets = append(sets, set)
+	}
+	ext, err := core.NewExtractorFromTables(tech, freq, sets...)
+	if err != nil {
+		return 0, err
+	}
+
+	toCore := func(segs []segmentJSON) ([]core.Segment, error) {
+		out := make([]core.Segment, len(segs))
+		for i, s := range segs {
+			sh := geom.ShieldNone
+			if s.Shielding == "microstrip" {
+				sh = geom.ShieldMicrostrip
+			}
+			out[i] = core.Segment{
+				Length:      units.Um(s.LengthUm),
+				SignalWidth: units.Um(s.SignalWidthUm),
+				GroundWidth: units.Um(s.GroundWidthUm),
+				Spacing:     units.Um(s.SpacingUm),
+				Shielding:   sh,
+			}
+		}
+		return out, nil
+	}
+
+	lat := make([]time.Duration, n)
+	err = fanout(ctx, n, c, func(i int) (time.Duration, error) {
+		segs, err := toCore(segments(batch, i))
+		if err != nil {
+			return 0, err
+		}
+		t0 := time.Now()
+		if _, err := ext.SegmentsRLCCtx(ctx, segs); err != nil {
+			return 0, err
+		}
+		return time.Since(t0), nil
+	}, func(i int, d time.Duration, err error) { lat[i] = d })
+	if err != nil {
+		return 0, err
+	}
+	return percentile(lat, 50), nil
+}

@@ -7,10 +7,11 @@ package cliobs
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -54,6 +55,8 @@ type Session struct {
 	metrics  bool
 	observer *obs.Observer
 	sampler  *obs.RuntimeSampler
+	debug    *http.Server
+	debugLn  net.Listener
 }
 
 // Start opens the requested sinks and profiles and begins a root span
@@ -91,12 +94,23 @@ func (f *Flags) Start(name string) (*Session, error) {
 		s.cpuF = cf
 	}
 	if f.PprofAddr != "" {
-		obs.PublishExpvar()
-		go func(addr string) {
-			if err := http.ListenAndServe(addr, nil); err != nil {
+		// Listen synchronously so a bad address or an occupied port is a
+		// startup error the operator sees, not a warning a goroutine
+		// drops after the run is already underway. The server owns a
+		// dedicated mux (never http.DefaultServeMux) and is shut down
+		// gracefully by Session.Close.
+		ln, err := net.Listen("tcp", f.PprofAddr)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("-pprof: %w", err)
+		}
+		s.debugLn = ln
+		s.debug = &http.Server{Handler: NewDebugMux()}
+		go func() {
+			if err := s.debug.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "warning: -pprof server: %v\n", err)
 			}
-		}(f.PprofAddr)
+		}()
 	}
 	// Any active observability surface also gets the runtime
 	// self-metrics sampler: heap, GC pauses and goroutine count land in
@@ -108,6 +122,15 @@ func (f *Flags) Start(name string) (*Session, error) {
 	}
 	s.root = s.observer.Start(name)
 	return s, nil
+}
+
+// DebugAddr reports the -pprof listener's bound address ("" when
+// -pprof is off) — useful when the flag asked for ":0".
+func (s *Session) DebugAddr() string {
+	if s == nil || s.debugLn == nil {
+		return ""
+	}
+	return s.debugLn.Addr().String()
 }
 
 // Context returns ctx carrying the session's root span, the parent
@@ -130,6 +153,17 @@ func (s *Session) Close() {
 		return
 	}
 	s.root.End()
+	if s.debug != nil {
+		// Graceful: in-flight /debug requests (a profile capture, say)
+		// finish, then the listener and its goroutine are released.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := s.debug.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: -pprof shutdown: %v\n", err)
+			s.debug.Close()
+		}
+		cancel()
+		s.debug = nil
+	}
 	if s.sampler != nil {
 		s.sampler.Stop()
 	}

@@ -1,0 +1,118 @@
+package cliobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The -pprof server must run on a dedicated mux, answer the debug
+// endpoints, and shut down with the session — the old
+// http.ListenAndServe(addr, nil) could do none of that.
+func TestDebugServerServesAndShutsDown(t *testing.T) {
+	f := &Flags{PprofAddr: "127.0.0.1:0", Check: "warn"}
+	sess, err := f.Start("cliobs-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := sess.DebugAddr()
+	if addr == "" {
+		t.Fatal("no debug address after Start with -pprof")
+	}
+
+	for path, want := range map[string]string{
+		"/debug/vars":         `"clockrlc"`,
+		"/metrics":            "# TYPE clockrlc_",
+		"/debug/pprof/":       "profiles",
+		"/debug/pprof/symbol": "",
+	} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if want != "" && !strings.Contains(string(body), want) {
+			t.Errorf("GET %s: body does not contain %q", path, want)
+		}
+		if path == "/debug/vars" {
+			var v map[string]any
+			if err := json.Unmarshal(body, &v); err != nil {
+				t.Errorf("/debug/vars is not JSON: %v", err)
+			}
+		}
+	}
+
+	sess.Close()
+	// After Close the listener is released: connecting must fail.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("debug listener still accepting after Session.Close")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// A bad -pprof address must surface as a Start error, not vanish into
+// a goroutine's stderr warning after the run is already underway.
+func TestDebugServerListenErrorSurfaces(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	f := &Flags{PprofAddr: ln.Addr().String(), Check: "warn"}
+	sess, err := f.Start("cliobs-test")
+	if err == nil {
+		sess.Close()
+		t.Fatal("Start succeeded on an occupied port")
+	}
+	if !strings.Contains(err.Error(), "-pprof") {
+		t.Errorf("error %v does not name the flag", err)
+	}
+}
+
+// Two sessions' debug servers (or a debug server plus an application
+// server) must coexist in one process — impossible when everything
+// registers on http.DefaultServeMux.
+func TestDebugMuxCoexistsWithSecondServer(t *testing.T) {
+	f1 := &Flags{PprofAddr: "127.0.0.1:0", Check: "warn"}
+	s1, err := f1.Start("first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: NewDebugMux()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	for _, addr := range []string{s1.DebugAddr(), ln.Addr().String()} {
+		resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+		if err != nil {
+			t.Fatalf("GET %s/debug/vars: %v", addr, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", addr, resp.StatusCode)
+		}
+	}
+}

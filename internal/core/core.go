@@ -301,6 +301,18 @@ func sameFrequency(a, b float64) bool {
 // or NewMultiExtractor, which predate the Option list.
 func (e *Extractor) SetObserver(o *obs.Observer) { e.obs = o }
 
+// Configure applies options to an already-constructed extractor — the
+// path a long-running server takes, where the table sets are shared
+// and cached but the check/lookup policies vary per request. Note
+// WithTableCache and WithLookupPolicy only influence table
+// construction, so they are inert here; WithChecks and WithObserver
+// take full effect.
+func (e *Extractor) Configure(opts ...Option) {
+	for _, o := range opts {
+		o(e)
+	}
+}
+
 // Tables exposes the table set for a shielding configuration.
 func (e *Extractor) Tables(sh geom.Shielding) (*table.Set, error) {
 	set, ok := e.tables[sh]

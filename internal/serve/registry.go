@@ -1,0 +1,282 @@
+// Package serve is the extraction daemon's in-process layer: a
+// sharded, refcounted registry of table sets over the
+// content-addressed cache, and the HTTP/JSON server that drives
+// core's batch extraction through it. One resident process amortises
+// the mmap/open cost of a table library across every request — the
+// way a CTS flow drives extraction as a service rather than forking a
+// CLI per net — while the registry's lifecycle discipline (acquire /
+// release / munmap-on-evict) keeps the daemon's mapping count bounded
+// where the one-shot CLIs could afford to leak until exit.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"clockrlc/internal/obs"
+	"clockrlc/internal/table"
+)
+
+// Registry accounting: hits serve an already-resident set, misses
+// fill from the cache (or a build), evictions count sets pushed out
+// by the capacity bound, and open_sets gauges the resident count.
+var (
+	regHits   = obs.GetCounter("serve.registry_hits")
+	regMisses = obs.GetCounter("serve.registry_misses")
+	regEvicts = obs.GetCounter("serve.registry_evictions")
+	regOpen   = obs.GetGauge("serve.registry_open_sets")
+)
+
+// openSets backs the open_sets gauge (obs gauges are set-only).
+var openSets atomic.Int64
+
+func openSetsAdd(d int64) { regOpen.Set(float64(openSets.Add(d))) }
+
+// regShardCount shards the registry map so concurrent requests for
+// different table sets never contend on one lock. Power of two.
+const regShardCount = 8
+
+// Registry is a sharded in-memory layer over the content-addressed
+// table cache. Entries are keyed by table.CacheKey and refcounted:
+// Acquire pins a set, the returned release unpins it, and an evicted
+// set is closed (its mapping released) only when the last holder
+// releases — so an in-flight request can never have its spline
+// coefficients unmapped underneath it.
+type Registry struct {
+	cache    *table.Cache
+	o        *obs.Observer
+	perShard int // max ready entries per shard; 0 = unbounded
+	clock    atomic.Int64
+	shards   [regShardCount]regShard
+}
+
+type regShard struct {
+	mu      sync.Mutex
+	entries map[string]*regEntry
+}
+
+// regEntry is one resident (or filling) table set. ready is closed
+// when fill completes; set/err are immutable afterwards. refs counts
+// holders: the map itself holds no reference — eviction removes the
+// entry from the map, marks it evicted, and the last release closes
+// the set.
+type regEntry struct {
+	key     string
+	ready   chan struct{}
+	set     *table.Set
+	err     error
+	refs    int
+	evicted bool
+	lastUse int64
+}
+
+// NewRegistry builds a registry over cache (which may be nil: misses
+// then build in memory without persistence). maxSets bounds the
+// resident set count (approximately: the bound is enforced per
+// shard); 0 means unbounded. Spans from fills go to o (nil selects
+// the default observer).
+func NewRegistry(cache *table.Cache, maxSets int, o *obs.Observer) *Registry {
+	r := &Registry{cache: cache, o: o}
+	if maxSets > 0 {
+		r.perShard = (maxSets + regShardCount - 1) / regShardCount
+	}
+	for i := range r.shards {
+		r.shards[i].entries = map[string]*regEntry{}
+	}
+	return r
+}
+
+func (r *Registry) shard(key string) *regShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &r.shards[h.Sum32()&(regShardCount-1)]
+}
+
+// Acquire returns the resident set for (cfg, axes), filling it from
+// the cache (single-flighted there, and deduplicated again here so
+// one registry never issues two concurrent fills of one key) on first
+// use. The returned release must be called exactly once when the
+// request is done with the set; it is safe to call from any
+// goroutine, and calling it again is a no-op.
+func (r *Registry) Acquire(ctx context.Context, cfg table.Config, axes table.Axes) (*table.Set, func(), error) {
+	key, err := table.CacheKey(cfg, axes)
+	if err != nil {
+		return nil, nil, err
+	}
+	sh := r.shard(key)
+
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		e.refs++
+		e.lastUse = r.clock.Add(1)
+		sh.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			r.releaseEntry(sh, e)
+			return nil, nil, ctx.Err()
+		}
+		if e.err != nil {
+			// The filler already removed the failed entry from the map;
+			// just drop our reference.
+			r.releaseEntry(sh, e)
+			return nil, nil, e.err
+		}
+		regHits.Inc()
+		return e.set, r.releaseFunc(sh, e), nil
+	}
+
+	// Miss: insert a filling entry, evict over capacity, then fill
+	// outside the lock so other keys stay acquirable.
+	e := &regEntry{key: key, ready: make(chan struct{}), refs: 1, lastUse: r.clock.Add(1)}
+	sh.entries[key] = e
+	victims := sh.evictOverCapLocked(r.perShard, e)
+	sh.mu.Unlock()
+	for _, v := range victims {
+		v.Close()
+	}
+	regMisses.Inc()
+
+	set, err := r.fill(ctx, cfg, axes)
+	e.set, e.err = set, err
+	if err != nil {
+		sh.mu.Lock()
+		if sh.entries[key] == e {
+			delete(sh.entries, key)
+		}
+		e.evicted = true
+		sh.mu.Unlock()
+		close(e.ready)
+		r.releaseEntry(sh, e)
+		return nil, nil, err
+	}
+	openSetsAdd(1)
+	close(e.ready)
+	return set, r.releaseFunc(sh, e), nil
+}
+
+// fill loads or builds the set. The cache path is single-flighted
+// across the whole process; the direct build path is only reached
+// when the registry was constructed without a cache.
+func (r *Registry) fill(ctx context.Context, cfg table.Config, axes table.Axes) (*table.Set, error) {
+	if r.cache != nil {
+		return r.cache.GetOrBuildCtx(ctx, cfg, axes, r.o)
+	}
+	o := r.o
+	if o == nil {
+		o = obs.Default()
+	}
+	return table.BuildCtx(ctx, cfg, axes, o)
+}
+
+// releaseFunc wraps releaseEntry in a once so a double release (a
+// handler's defer racing an error path, say) can never unpin an
+// entry twice.
+func (r *Registry) releaseFunc(sh *regShard, e *regEntry) func() {
+	var once sync.Once
+	return func() { once.Do(func() { r.releaseEntry(sh, e) }) }
+}
+
+// releaseEntry unpins e and closes its set when it was evicted and
+// this was the last holder.
+func (r *Registry) releaseEntry(sh *regShard, e *regEntry) {
+	sh.mu.Lock()
+	e.refs--
+	dead := e.evicted && e.refs == 0
+	sh.mu.Unlock()
+	if dead && e.set != nil {
+		e.set.Close()
+		openSetsAdd(-1)
+	}
+}
+
+// evictOverCapLocked removes least-recently-used ready entries until
+// the shard is within cap, never evicting keep. It returns the
+// entries whose sets can be closed immediately (no holders); entries
+// still referenced close at their last release. Caller holds sh.mu.
+func (sh *regShard) evictOverCapLocked(cap int, keep *regEntry) []*table.Set {
+	if cap <= 0 {
+		return nil
+	}
+	var closable []*table.Set
+	for len(sh.entries) > cap {
+		var victim *regEntry
+		for _, e := range sh.entries {
+			if e == keep {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return closable
+		}
+		delete(sh.entries, victim.key)
+		victim.evicted = true
+		regEvicts.Inc()
+		if victim.refs == 0 {
+			select {
+			case <-victim.ready:
+				if victim.set != nil {
+					closable = append(closable, victim.set)
+					openSetsAdd(-1)
+				}
+			default:
+				// Still filling with zero holders cannot happen: the
+				// filler holds a reference until fill completes.
+			}
+		}
+	}
+	return closable
+}
+
+// Len reports the resident entry count across all shards.
+func (r *Registry) Len() int {
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Close evicts every entry, closing each set as its last holder
+// releases (immediately, for unreferenced entries). Acquire may still
+// be called afterwards — the registry simply refills — so Close is
+// also usable as a flush.
+func (r *Registry) Close() error {
+	var first error
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		var drop []*regEntry
+		for key, e := range sh.entries {
+			delete(sh.entries, key)
+			e.evicted = true
+			if e.refs == 0 {
+				drop = append(drop, e)
+			}
+		}
+		sh.mu.Unlock()
+		for _, e := range drop {
+			select {
+			case <-e.ready:
+			default:
+				continue // filling entries close via their filler's release
+			}
+			if e.set != nil {
+				if err := e.set.Close(); err != nil && first == nil {
+					first = fmt.Errorf("serve: close %s: %w", e.key, err)
+				}
+				openSetsAdd(-1)
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,393 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clockrlc/internal/check"
+	"clockrlc/internal/cliobs"
+	"clockrlc/internal/core"
+	"clockrlc/internal/geom"
+	"clockrlc/internal/netlist"
+	"clockrlc/internal/obs"
+	"clockrlc/internal/table"
+	"clockrlc/internal/units"
+)
+
+// Request accounting: requests by endpoint outcome, segments
+// extracted through the service, and request latency.
+var (
+	srvRequests  = obs.GetCounter("serve.requests")
+	srvErrors    = obs.GetCounter("serve.request_errors")
+	srvSegments  = obs.GetCounter("serve.segments")
+	srvLatency   = obs.GetHistogram("serve.request_seconds")
+	srvInFlight  = obs.GetGauge("serve.inflight")
+	srvInFlightN atomic.Int64
+)
+
+// maxBodyBytes bounds a request body; a batch of tens of thousands of
+// segments fits comfortably.
+const maxBodyBytes = 16 << 20
+
+// Config parameterises the daemon's extraction service.
+type Config struct {
+	// Tech is the routing technology every request extracts against.
+	Tech core.Technology
+	// Axes are the table axes (zero value selects table.DefaultAxes).
+	Axes table.Axes
+	// Cache is the content-addressed on-disk cache backing the
+	// registry; nil builds tables in memory only.
+	Cache *table.Cache
+	// MaxSets bounds the registry's resident table sets (0 =
+	// unbounded); evicted sets munmap once their last request ends.
+	MaxSets int
+	// Workers bounds each request's extraction fan-out and any table
+	// build's sweep pool (0 = GOMAXPROCS).
+	Workers int
+	// DefaultCheck is the physical-invariant policy applied when a
+	// request does not select one.
+	DefaultCheck check.Policy
+	// DefaultLookup is the out-of-range lookup policy applied when a
+	// request does not select one.
+	DefaultLookup table.LookupPolicy
+	// Observer routes the service's spans (nil = process default).
+	Observer *obs.Observer
+}
+
+// Server is the extraction service: request handlers over a sharded
+// refcounted registry of table sets. Create with New, mount Handler
+// on an http.Server, and Close when drained.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	mux      *http.ServeMux
+	inflight sync.WaitGroup
+}
+
+// New validates cfg and builds the service.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Tech.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Axes.Widths) == 0 && len(cfg.Axes.Spacings) == 0 && len(cfg.Axes.Lengths) == 0 {
+		cfg.Axes = table.DefaultAxes()
+	}
+	if err := cfg.Axes.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg: cfg,
+		reg: NewRegistry(cfg.Cache, cfg.MaxSets, cfg.Observer),
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/extract", s.instrument("extract", s.handleExtract))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	debug := cliobs.NewDebugMux()
+	s.mux.Handle("/debug/", debug)
+	s.mux.Handle("/metrics", debug)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler: /v1/extract, /v1/batch,
+// /healthz, /metrics (Prometheus text), /debug/vars and
+// /debug/pprof/*.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the table-set registry (for tests and metrics).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Drain blocks until every in-flight request has finished or ctx
+// expires. http.Server.Shutdown already refuses new connections and
+// waits for active ones; Drain additionally covers handlers driven
+// through Handler() directly (tests, embedding).
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close releases the registry's table sets. Call after Drain.
+func (s *Server) Close() error { return s.reg.Close() }
+
+// observer returns the configured observer or the process default.
+func (s *Server) observer() *obs.Observer {
+	if s.cfg.Observer != nil {
+		return s.cfg.Observer
+	}
+	return obs.Default()
+}
+
+// SegmentRequest is one wire segment, in the units the CLIs use
+// (micrometres; the response is SI).
+type SegmentRequest struct {
+	LengthUm      float64 `json:"length_um"`
+	SignalWidthUm float64 `json:"signal_width_um"`
+	GroundWidthUm float64 `json:"ground_width_um"`
+	SpacingUm     float64 `json:"spacing_um"`
+	// Shielding is "coplanar" (default), "microstrip" or "stripline".
+	Shielding string `json:"shielding,omitempty"`
+}
+
+// BatchRequest extracts a batch of segments at one significant
+// frequency. Check and LookupPolicy select per-request policies
+// (empty = the server's defaults).
+type BatchRequest struct {
+	RiseTimePs   float64          `json:"rise_time_ps"`
+	Check        string           `json:"check,omitempty"`
+	LookupPolicy string           `json:"lookup_policy,omitempty"`
+	Segments     []SegmentRequest `json:"segments"`
+}
+
+// ExtractRequest is BatchRequest's single-segment form: the segment
+// fields are inlined.
+type ExtractRequest struct {
+	SegmentRequest
+	RiseTimePs   float64 `json:"rise_time_ps"`
+	Check        string  `json:"check,omitempty"`
+	LookupPolicy string  `json:"lookup_policy,omitempty"`
+}
+
+// SegmentResult is one extracted segment, SI units.
+type SegmentResult struct {
+	ROhm float64 `json:"r_ohm"`
+	LH   float64 `json:"l_h"`
+	CF   float64 `json:"c_f"`
+}
+
+// BatchResponse carries results in input order.
+type BatchResponse struct {
+	Results []SegmentResult `json:"results"`
+}
+
+// errorResponse is every error body: {"error": "..."}.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// instrument wraps a handler with the in-flight waitgroup and the
+// request counters/latency histogram.
+func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		srvInFlight.Set(float64(srvInFlightN.Add(1)))
+		srvRequests.Inc()
+		t0 := time.Now()
+		ctx, sp := s.observer().StartCtx(r.Context(), "serve."+name)
+		defer func() {
+			sp.End()
+			srvLatency.Observe(time.Since(t0).Seconds())
+			srvInFlight.Set(float64(srvInFlightN.Add(-1)))
+			s.inflight.Done()
+		}()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	var req ExtractRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	out, err := s.extract(r.Context(), BatchRequest{
+		RiseTimePs:   req.RiseTimePs,
+		Check:        req.Check,
+		LookupPolicy: req.LookupPolicy,
+		Segments:     []SegmentRequest{req.SegmentRequest},
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResult(out[0]))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	out, err := s.extract(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := BatchResponse{Results: make([]SegmentResult, len(out))}
+	for i, rlc := range out {
+		resp.Results[i] = toResult(rlc)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// badRequestError marks client-side validation failures (HTTP 400).
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+// extract is the request core: resolve policies, pin the needed table
+// sets in the registry, compose a per-request extractor over the
+// shared sets, and run the vectorized batch path. Results are in
+// input order; the first failing segment aborts the batch with an
+// error naming its index.
+func (s *Server) extract(ctx context.Context, req BatchRequest) ([]netlist.SegmentRLC, error) {
+	if len(req.Segments) == 0 {
+		return nil, &badRequestError{errors.New("no segments in request")}
+	}
+	if req.RiseTimePs <= 0 {
+		return nil, &badRequestError{fmt.Errorf("rise_time_ps %g must be positive", req.RiseTimePs)}
+	}
+	checkPolicy := s.cfg.DefaultCheck
+	if req.Check != "" {
+		p, err := check.ParsePolicy(req.Check)
+		if err != nil {
+			return nil, &badRequestError{err}
+		}
+		checkPolicy = p
+	}
+	lookup := s.cfg.DefaultLookup
+	if req.LookupPolicy != "" {
+		p, err := table.ParseLookupPolicy(req.LookupPolicy)
+		if err != nil {
+			return nil, &badRequestError{err}
+		}
+		lookup = p
+	}
+	freq := units.SignificantFrequency(req.RiseTimePs * units.PicoSecond)
+
+	segs := make([]core.Segment, len(req.Segments))
+	needed := map[geom.Shielding]bool{}
+	for i, sr := range req.Segments {
+		sh, err := parseShielding(sr.Shielding)
+		if err != nil {
+			return nil, &badRequestError{fmt.Errorf("segment %d: %w", i, err)}
+		}
+		segs[i] = core.Segment{
+			Length:      units.Um(sr.LengthUm),
+			SignalWidth: units.Um(sr.SignalWidthUm),
+			GroundWidth: units.Um(sr.GroundWidthUm),
+			Spacing:     units.Um(sr.SpacingUm),
+			Shielding:   sh,
+		}
+		if err := segs[i].Validate(); err != nil {
+			return nil, &badRequestError{fmt.Errorf("segment %d: %w", i, err)}
+		}
+		needed[sh] = true
+	}
+
+	// Pin every needed set for the request's lifetime. The sets are
+	// shared across requests; the per-request lookup policy rides a
+	// shallow header copy, never a write to the shared set.
+	var sets []*table.Set
+	for sh := range needed {
+		set, release, err := s.reg.Acquire(ctx, s.tableConfig(sh, freq), s.cfg.Axes)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		sets = append(sets, set.WithLookup(lookup))
+	}
+	ext, err := core.NewExtractorFromTables(s.cfg.Tech, freq, sets...)
+	if err != nil {
+		return nil, err
+	}
+	ext.Configure(core.WithChecks(checkPolicy), core.WithObserver(s.cfg.Observer))
+
+	// The vectorized batch path: one spline contraction pass per
+	// shielding group, repeated geometries deduped.
+	out, err := ext.SegmentsRLCCtx(ctx, segs)
+	if err != nil {
+		return nil, err
+	}
+	srvSegments.Add(int64(len(out)))
+	return out, nil
+}
+
+// tableConfig is the table identity a shielding configuration at a
+// significant frequency resolves to — identical physics to what the
+// CLIs build, so daemon and CLI share cache entries.
+func (s *Server) tableConfig(sh geom.Shielding, freq float64) table.Config {
+	return table.Config{
+		Name:           "serve/" + sh.String(),
+		Thickness:      s.cfg.Tech.Thickness,
+		Rho:            s.cfg.Tech.Rho,
+		Shielding:      sh,
+		PlaneGap:       s.cfg.Tech.PlaneGap,
+		PlaneThickness: s.cfg.Tech.PlaneThickness,
+		Frequency:      freq,
+		Workers:        s.cfg.Workers,
+	}
+}
+
+func parseShielding(s string) (geom.Shielding, error) {
+	switch s {
+	case "", "coplanar":
+		return geom.ShieldNone, nil
+	case "microstrip":
+		return geom.ShieldMicrostrip, nil
+	case "stripline":
+		return geom.ShieldStripline, nil
+	}
+	return 0, fmt.Errorf("bad shielding %q (want coplanar, microstrip or stripline)", s)
+}
+
+func toResult(rlc netlist.SegmentRLC) SegmentResult {
+	return SegmentResult{ROhm: rlc.R, LH: rlc.L, CF: rlc.C}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, &badRequestError{fmt.Errorf("bad request body: %w", err)})
+		return false
+	}
+	return true
+}
+
+// writeError maps an extraction failure to a status code: client
+// mistakes (malformed request, bad geometry, out-of-range lookups
+// under the error policy, strict-check violations of the request's
+// own data) are 4xx; a cancelled request reports 503 (the daemon is
+// draining) and everything else 500.
+func writeError(w http.ResponseWriter, err error) {
+	srvErrors.Inc()
+	status := http.StatusInternalServerError
+	var bad *badRequestError
+	switch {
+	case errors.As(err, &bad), errors.Is(err, core.ErrBadGeometry):
+		status = http.StatusBadRequest
+	case errors.Is(err, table.ErrOutOfRange), errors.Is(err, check.ErrViolation):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if status != http.StatusOK {
+		enc.SetIndent("", "  ") // error bodies are read by humans
+	}
+	enc.Encode(v)
+}

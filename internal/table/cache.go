@@ -20,6 +20,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"clockrlc/internal/check"
@@ -36,11 +37,12 @@ import (
 // (read) or an unpersisted set (write) rather than failing the
 // extraction.
 var (
-	cacheHits    = obs.GetCounter("table.cache_hits")
-	cacheMisses  = obs.GetCounter("table.cache_misses")
-	cacheWrites  = obs.GetCounter("table.cache_writes")
-	cacheCorrupt = obs.GetCounter("table.cache_corrupt")
-	cacheIOErrs  = obs.GetCounter("table.cache_io_errors")
+	cacheHits      = obs.GetCounter("table.cache_hits")
+	cacheMisses    = obs.GetCounter("table.cache_misses")
+	cacheWrites    = obs.GetCounter("table.cache_writes")
+	cacheCorrupt   = obs.GetCounter("table.cache_corrupt")
+	cacheIOErrs    = obs.GetCounter("table.cache_io_errors")
+	cacheCoalesced = obs.GetCounter("table.cache_coalesced")
 )
 
 // cacheRetry re-attempts transient cache I/O (per fault.IsTransient)
@@ -125,6 +127,22 @@ func CacheKey(cfg Config, axes Axes) (string, error) {
 // changes nothing.
 type Cache struct {
 	dir string
+
+	// flights dedups concurrent GetOrBuildCtx misses within this
+	// process: the first caller of a key becomes the leader and runs
+	// the field-solver sweep; everyone else arriving before the leader
+	// finishes waits on the flight and shares the one result. Without
+	// it, N concurrent misses run N full sweeps and N write-backs.
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// flight is one in-progress build: done is closed when the leader has
+// a result, after which set/err are immutable.
+type flight struct {
+	done chan struct{}
+	set  *Set
+	err  error
 }
 
 // NewCache opens (creating if needed) a cache rooted at dir.
@@ -135,7 +153,7 @@ func NewCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("table: cache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{dir: dir, flights: map[string]*flight{}}, nil
 }
 
 // Dir returns the cache's root directory.
@@ -209,10 +227,25 @@ func (c *Cache) GetCtx(ctx context.Context, cfg Config, axes Axes) (*Set, bool, 
 		cacheMisses.Inc()
 		return nil, false, nil
 	}
-	s.Config.Name = cfg.Name
-	s.Config.Workers = cfg.Workers
 	cacheHits.Inc()
-	return s, true, nil
+	return setWithHeader(s, cfg), true, nil
+}
+
+// setWithHeader returns s carrying the caller's Name and Workers —
+// both excluded from the content address, so a hit must re-apply them
+// — without mutating s: once a registry shares one *Set across
+// requests, writing s.Config here would be a data race on every hit.
+// The copy shares the grids (and, when s came straight off a fresh
+// load, inherits its mapping: the original header is discarded, so
+// ownership transfers with the copy).
+func setWithHeader(s *Set, cfg Config) *Set {
+	if s.Config.Name == cfg.Name && s.Config.Workers == cfg.Workers {
+		return s
+	}
+	cp := *s
+	cp.Config.Name = cfg.Name
+	cp.Config.Workers = cfg.Workers
+	return &cp
 }
 
 // Put stores a built set under its content address, atomically.
@@ -258,6 +291,14 @@ func (c *Cache) GetOrBuild(cfg Config, axes Axes, o *obs.Observer) (*Set, error)
 // correct and usable, only its persistence was lost — counted in
 // table.cache_io_errors and flagged on the span; cancellation during
 // the write is still propagated.
+//
+// Concurrent misses of the same content address are single-flighted:
+// the first caller runs the sweep, everyone else waits on its flight
+// (counted in table.cache_coalesced) and shares the one result — and
+// its error, except cancellation: a leader cancelled by its own
+// caller is not the waiters' failure, so an uncancelled waiter
+// retries (and typically becomes the next leader). Waiters honour
+// their own ctx while parked.
 func (c *Cache) GetOrBuildCtx(ctx context.Context, cfg Config, axes Axes, o *obs.Observer) (*Set, error) {
 	if o == nil {
 		o = obs.Default()
@@ -265,22 +306,64 @@ func (c *Cache) GetOrBuildCtx(ctx context.Context, cfg Config, axes Axes, o *obs
 	ctx, sp := o.StartCtx(ctx, "table.cache")
 	sp.SetAttr("name", cfg.Name)
 	defer sp.End()
-	// Record the content address on hit AND miss, so obsreport traces
-	// can correlate cache entries across runs (an invalid cfg/axes pair
-	// fails the probe below with the same error; no attr needed then).
-	if key, kerr := CacheKey(cfg, axes); kerr == nil {
-		sp.SetAttr("key", key)
-	}
-	s, ok, err := c.GetCtx(ctx, cfg, axes)
+	// The content address doubles as the flight key and is recorded on
+	// the span so obsreport traces can correlate cache entries across
+	// runs.
+	key, err := CacheKey(cfg, axes)
 	if err != nil {
 		return nil, err
 	}
-	if ok {
-		sp.SetAttr("outcome", "hit")
-		return s, nil
+	sp.SetAttr("key", key)
+	for {
+		s, ok, err := c.GetCtx(ctx, cfg, axes)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			sp.SetAttr("outcome", "hit")
+			return s, nil
+		}
+		c.mu.Lock()
+		if c.flights == nil { // zero-value Cache (tests construct &Cache{})
+			c.flights = map[string]*flight{}
+		}
+		if f, inFlight := c.flights[key]; inFlight {
+			c.mu.Unlock()
+			cacheCoalesced.Inc()
+			sp.SetAttr("outcome", "coalesced")
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if f.err != nil {
+				if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+					if ctx.Err() != nil {
+						return nil, ctx.Err()
+					}
+					continue
+				}
+				return nil, f.err
+			}
+			return setWithHeader(f.set, cfg), nil
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.mu.Unlock()
+		sp.SetAttr("outcome", "miss")
+		f.set, f.err = c.buildAndPut(ctx, cfg, axes, o, sp)
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+		close(f.done)
+		return f.set, f.err
 	}
-	sp.SetAttr("outcome", "miss")
-	s, err = BuildCtx(ctx, cfg, axes, o)
+}
+
+// buildAndPut is the miss path: run the sweep, write the result back
+// (degrading — not failing — on a persistent write error).
+func (c *Cache) buildAndPut(ctx context.Context, cfg Config, axes Axes, o *obs.Observer, sp obs.Span) (*Set, error) {
+	s, err := BuildCtx(ctx, cfg, axes, o)
 	if err != nil {
 		return nil, err
 	}

@@ -381,3 +381,19 @@ func (s *Set) Close() error {
 	s.unmap = nil
 	return u()
 }
+
+// WithLookup returns a set answering out-of-range lookups per p,
+// sharing this set's grids. The receiver is never modified — setting
+// s.Lookup directly on a set a registry shares across requests would
+// be a data race — and the returned copy does not own the file
+// mapping: only the original's Close releases it, so the copy must
+// not outlive the original.
+func (s *Set) WithLookup(p LookupPolicy) *Set {
+	if s == nil || s.Lookup == p {
+		return s
+	}
+	cp := *s
+	cp.Lookup = p
+	cp.unmap = nil
+	return &cp
+}

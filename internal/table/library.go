@@ -60,6 +60,21 @@ func (l *Library) Names() []string {
 // Len reports the set count.
 func (l *Library) Len() int { return len(l.sets) }
 
+// Close releases every set's file mapping (a no-op for heap-backed
+// sets). Every set is closed even if some fail; the first error is
+// returned, naming its set. After Close no set's values may be
+// touched. A long-lived process that opens libraries repeatedly must
+// Close them, or each v3 open leaks a mapping for process lifetime.
+func (l *Library) Close() error {
+	var first error
+	for _, name := range l.Names() {
+		if err := l.sets[name].Close(); err != nil && first == nil {
+			first = fmt.Errorf("table: close %s: %w", name, err)
+		}
+	}
+	return first
+}
+
 // fileName maps a set name ("M6/microstrip") to a filesystem-safe
 // file name. The mapping is injective: bytes outside [A-Za-z0-9._-]
 // — '%' included — are %XX-escaped, so distinct names ("a/b" vs

@@ -194,3 +194,55 @@ END {
 
 echo "wrote $mmap_out:"
 cat "$mmap_out"
+
+# Serve pass: end-to-end daemon throughput and latency. Builds rlcxd
+# and rlcxload, starts the daemon on a free port over a cold
+# content-addressed cache, drives it at 32-way concurrency (the warmup
+# doubles as the miss-coalescing exercise: every worker's first
+# request wants the same two table sets), then re-runs the same
+# workload against the in-process batch API for the service-overhead
+# ratio. The daemon is stopped with SIGTERM and must drain to exit
+# 143. Written to BENCH_serve.json.
+serve_out=BENCH_serve.json
+
+servedir=$(mktemp -d)
+trap 'rm -rf "$servedir"' EXIT
+go build -o "$servedir" ./cmd/rlcxd ./cmd/rlcxload
+mkdir "$servedir/cache"
+"$servedir/rlcxd" -addr 127.0.0.1:0 -cache "$servedir/cache" \
+  >"$servedir/rlcxd.log" 2>"$servedir/rlcxd.err" &
+rlcxd_pid=$!
+
+addr=
+i=0
+while [ $i -lt 100 ]; do
+  addr=$(awk '/listening on/ { print $4; exit }' "$servedir/rlcxd.log" 2>/dev/null || true)
+  [ -n "$addr" ] && break
+  if ! kill -0 "$rlcxd_pid" 2>/dev/null; then
+    echo "bench.sh: rlcxd exited before listening:" >&2
+    cat "$servedir/rlcxd.err" >&2
+    exit 1
+  fi
+  sleep 0.1
+  i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+  echo "bench.sh: rlcxd never printed its listen address" >&2
+  kill "$rlcxd_pid" 2>/dev/null || true
+  exit 1
+fi
+
+"$servedir/rlcxload" -addr "$addr" -n 400 -c 32 -batch 8 -warm 64 \
+  -inprocess -o "$serve_out"
+
+kill -TERM "$rlcxd_pid"
+rc=0
+wait "$rlcxd_pid" || rc=$?
+if [ "$rc" -ne 143 ]; then
+  echo "bench.sh: rlcxd exited $rc after SIGTERM, want 143 (graceful drain)" >&2
+  cat "$servedir/rlcxd.err" >&2
+  exit 1
+fi
+
+echo "wrote $serve_out:"
+cat "$serve_out"
