@@ -33,11 +33,12 @@ roundtrip:
 # chaos runs the fault-injection matrix under the race detector:
 # injected errors/latency/panics at every instrumented point, retry
 # exhaustion, cancellation promptness and leak-freedom, cache
-# corruption/degradation, divergence guards, and exit-code mapping.
+# corruption/degradation, divergence guards, exit-code mapping, and the
+# daemon's overload paths (shed, deadline, breaker, drain, evict race).
 chaos:
 	$(GO) test -race -timeout 5m \
-		-run 'Fault|Chaos|Cancel|Panic|Diverge|Retry|Injected|Transient|Degrad|Sign|Exit|NonFinite|Singular|IllCondition|Validation' \
-		./internal/fault ./internal/table ./internal/core ./internal/sim ./internal/linalg ./internal/cliobs
+		-run 'Fault|Chaos|Cancel|Panic|Diverge|Retry|Injected|Transient|Degrad|Sign|Exit|NonFinite|Singular|IllCondition|Validation|Breaker|Shed|Admit|Deadline|Drain|Gone|Healthz|EvictWhileFilling' \
+		./internal/fault ./internal/table ./internal/core ./internal/sim ./internal/linalg ./internal/cliobs ./internal/serve
 
 # fuzz gives every native fuzz target a short randomised budget on top
 # of the committed seed corpora (which already run as plain test cases
@@ -61,8 +62,9 @@ bench:
 # spline-lookup/parallel-build numbers in BENCH_spline.json, the
 # cold-vs-cache-hit extractor construction numbers in BENCH_cache.json,
 # the fault/check-layer ratios, the ctx-span trace-overhead numbers in
-# BENCH_trace.json, and the end-to-end daemon throughput/latency
-# numbers in BENCH_serve.json.
+# BENCH_trace.json, the end-to-end daemon throughput/latency numbers in
+# BENCH_serve.json, and the overload-resilience numbers (shed instead
+# of collapse at 4x admission capacity) in BENCH_overload.json.
 bench-obs:
 	./scripts/bench.sh
 
@@ -83,4 +85,4 @@ bench-check:
 	$(GO) run ./cmd/benchdiff -baseline bench/baseline -current .
 
 clean:
-	rm -f BENCH_obs.json BENCH_spline.json BENCH_cache.json BENCH_fault.json BENCH_check.json BENCH_trace.json BENCH_mmap.json BENCH_serve.json
+	rm -f BENCH_obs.json BENCH_spline.json BENCH_cache.json BENCH_fault.json BENCH_check.json BENCH_trace.json BENCH_mmap.json BENCH_serve.json BENCH_overload.json

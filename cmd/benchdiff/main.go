@@ -52,6 +52,9 @@ var skipKeys = map[string]bool{
 	"concurrency": true,
 	"batch":       true,
 	"errors":      true, // any nonzero count fails the load run itself
+	"sheds":       true, // overload runs shed by design; bench.sh asserts the invariants
+	"retries":     true,
+	"timeouts":    true,
 }
 
 // higherIsBetter reports whether a larger value of the named metric is
@@ -132,15 +135,23 @@ func diff(w io.Writer, baselineDir, currentDir string, threshold float64) (int, 
 	return regressions, nil
 }
 
-// loadMetrics reads one flat BENCH json object of numeric metrics.
+// loadMetrics reads one BENCH json object and keeps the numeric
+// leaves. Non-numeric values (e.g. the errors_by_status map the
+// overload run records) are descriptors, not gated metrics.
 func loadMetrics(path string) (map[string]float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	m := map[string]float64{}
-	if err := json.Unmarshal(data, &m); err != nil {
+	raw := map[string]any{}
+	if err := json.Unmarshal(data, &raw); err != nil {
 		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	m := make(map[string]float64, len(raw))
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			m[k] = f
+		}
 	}
 	return m, nil
 }

@@ -229,3 +229,49 @@ func TestSIGTERMDrainsInFlightRequests(t *testing.T) {
 		t.Errorf("exit code %d, want 143; stderr: %s", code, d.errB)
 	}
 }
+
+// getHealthz returns /healthz's status code, or 0 if the daemon is
+// unreachable.
+func getHealthz(addr string) (int, string) {
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		return 0, ""
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+// With a drain grace window, SIGTERM flips /healthz to 503 while the
+// listener still answers — the window load balancers need to route
+// around the drain — and the process still exits 143.
+func TestHealthzDuringDrain(t *testing.T) {
+	d := startDaemon(t, "-drain-grace", "3s")
+	if status, body := getHealthz(d.addr); status != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz before drain: %d %q", status, body)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Inside the grace window the probe must observe the 503 flip.
+	deadline := time.Now().Add(2 * time.Second)
+	saw503 := false
+	for time.Now().Before(deadline) {
+		status, body := getHealthz(d.addr)
+		if status == http.StatusServiceUnavailable && strings.Contains(body, "draining") {
+			saw503 = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !saw503 {
+		t.Error("healthz never answered 503 draining during the grace window")
+	}
+	// New extraction requests inside the window are refused, not hung.
+	if status, body := d.post(t, smallBatch(1)); status != http.StatusServiceUnavailable {
+		t.Errorf("batch during drain: status %d, want 503: %s", status, body)
+	}
+	if code := d.wait(t, 30*time.Second); code != 143 {
+		t.Errorf("exit code %d, want 143; stderr: %s", code, d.errB)
+	}
+}

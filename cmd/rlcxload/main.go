@@ -1,8 +1,16 @@
 // Command rlcxload drives an rlcxd daemon with concurrent batch
 // extraction requests and reports throughput and latency percentiles
-// as JSON — the serve-mode benchmark harness, and a cold-cache
-// coalescing probe (every worker's first request misses the same
-// table keys; the daemon must run one solver sweep per unique key).
+// as JSON — the serve-mode benchmark harness, a cold-cache coalescing
+// probe (every worker's first request misses the same table keys; the
+// daemon must run one solver sweep per unique key), and the overload
+// probe (drive it past -max-inflight and the daemon must shed with
+// 429 instead of collapsing).
+//
+// Shed (429) and unavailable (503) responses are retried with
+// capped-exponential backoff and deterministic jitter, honoring the
+// daemon's Retry-After header. Percentiles cover admitted (2xx)
+// requests only; failures are counted separately per status in
+// errors_by_status, alongside shed/retry/timeout totals.
 //
 // Example:
 //
@@ -19,12 +27,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,19 +63,35 @@ type batchJSON struct {
 	Segments   []segmentJSON `json:"segments"`
 }
 
-// report is the emitted measurement; the serve bench pass commits
-// these fields to BENCH_serve.json.
+// report is the emitted measurement; the serve and overload bench
+// passes commit these fields to BENCH_serve.json/BENCH_overload.json.
+// Percentiles and throughput cover admitted (2xx) requests only:
+// folding shed or failed requests into latency numbers would reward a
+// daemon for failing fast. Sheds/retries/timeouts describe the load
+// shape, not the code, and are skipped by benchdiff.
 type report struct {
-	Requests       int     `json:"requests"`
-	Concurrency    int     `json:"concurrency"`
-	Batch          int     `json:"batch"`
-	Errors         int64   `json:"errors"`
-	ThroughputRPS  float64 `json:"throughput_rps"`
-	P50Ns          int64   `json:"p50_ns"`
-	P90Ns          int64   `json:"p90_ns"`
-	P99Ns          int64   `json:"p99_ns"`
-	InProcessP50Ns int64   `json:"inprocess_p50_ns,omitempty"`
-	VsInProcessP50 float64 `json:"serve_vs_inprocess_p50,omitempty"`
+	Requests       int              `json:"requests"`
+	Concurrency    int              `json:"concurrency"`
+	Batch          int              `json:"batch"`
+	Errors         int64            `json:"errors"`
+	Sheds          int64            `json:"sheds"`
+	Retries        int64            `json:"retries"`
+	Timeouts       int64            `json:"timeouts"`
+	ErrorsByStatus map[string]int64 `json:"errors_by_status,omitempty"`
+	ThroughputRPS  float64          `json:"throughput_rps"`
+	P50Ns          int64            `json:"p50_ns"`
+	P90Ns          int64            `json:"p90_ns"`
+	P99Ns          int64            `json:"p99_ns"`
+	InProcessP50Ns int64            `json:"inprocess_p50_ns,omitempty"`
+	VsInProcessP50 float64          `json:"serve_vs_inprocess_p50,omitempty"`
+}
+
+// retryOpts is the client-side backoff schedule for 429/503
+// responses.
+type retryOpts struct {
+	retries int           // re-attempts after the first try
+	base    time.Duration // first backoff
+	cap     time.Duration // backoff and Retry-After ceiling
 }
 
 func main() {
@@ -77,11 +104,17 @@ func main() {
 		warm      = flag.Int("warm", 64, "warmup requests excluded from the measurement")
 		inprocess = flag.Bool("inprocess", false, "also run the workload against the in-process batch API and report the p50 ratio")
 		out       = flag.String("o", "", "write the JSON report to `file` (default stdout)")
+		retries   = flag.Int("retries", 3, "retry budget per request for 429/503 responses")
+		retryBase = flag.Duration("retry-base", 25*time.Millisecond, "first retry backoff (doubles per attempt)")
+		retryCap  = flag.Duration("retry-cap", 2*time.Second, "retry backoff and honored Retry-After ceiling")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "client-side per-attempt `timeout`")
+		tolerate  = flag.Bool("tolerate-errors", false, "exit 0 even when requests failed terminally (overload runs)")
 	)
 	flag.Parse()
 	sd := cliobs.NotifyShutdown()
 	defer sd.Stop()
-	rep, err := run(sd.Context(), *addr, *n, *c, *batch, *tr, *warm, *inprocess)
+	ro := retryOpts{retries: *retries, base: *retryBase, cap: *retryCap}
+	rep, err := run(sd.Context(), *addr, *n, *c, *batch, *tr, *warm, *inprocess, ro, *timeout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rlcxload:", err)
 		os.Exit(sd.ExitCode(err))
@@ -99,6 +132,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rlcxload:", err)
+		os.Exit(cliobs.ExitFailure)
+	}
+	if rep.Errors > 0 && !*tolerate {
+		fmt.Fprintf(os.Stderr, "rlcxload: %d of %d requests failed terminally\n", rep.Errors, rep.Requests)
 		os.Exit(cliobs.ExitFailure)
 	}
 }
@@ -121,76 +158,210 @@ func segments(batch, seed int) []segmentJSON {
 	return segs
 }
 
-func run(ctx context.Context, addr string, n, c, batch int, tr float64, warm int, inprocess bool) (*report, error) {
+// attemptResult is one request's terminal outcome after retries.
+type attemptResult struct {
+	ok      bool
+	status  int // last HTTP status; 0 = transport failure
+	latency time.Duration
+	sheds   int64 // 429s observed (including retried-then-succeeded)
+	retries int64
+	timeout bool // last failure was a client-side timeout
+}
+
+// tally accumulates attemptResults across workers.
+type tally struct {
+	mu       sync.Mutex
+	lat      []time.Duration // admitted (2xx) latencies only
+	byStatus map[string]int64
+	errs     int64
+	sheds    int64
+	retries  int64
+	timeouts int64
+	okCount  int64
+}
+
+func (t *tally) add(r attemptResult) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sheds += r.sheds
+	t.retries += r.retries
+	if r.timeout {
+		t.timeouts++
+	}
+	if r.ok {
+		t.okCount++
+		t.lat = append(t.lat, r.latency)
+		return
+	}
+	t.errs++
+	if t.byStatus == nil {
+		t.byStatus = map[string]int64{}
+	}
+	t.byStatus[strconv.Itoa(r.status)]++
+}
+
+// isTimeout reports a client-side deadline on a transport error.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.Is(err, context.DeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout())
+}
+
+// backoffJitter maps (seed, attempt) to [0.5, 1.5) deterministically
+// (splitmix64 finalizer) so overload runs replay comparably.
+func backoffJitter(seed, attempt int) float64 {
+	h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(attempt)*0xff51afd7ed558ccd
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	return 0.5 + float64(h>>11)/float64(1<<53)
+}
+
+// doRequest posts one batch, retrying 429/503 with capped-exponential
+// backoff and deterministic jitter, honoring Retry-After. Transport
+// errors are terminal (a daemon that dropped the connection is not
+// shedding politely).
+func doRequest(ctx context.Context, client *http.Client, url string, body []byte,
+	seed int, ro retryOpts) attemptResult {
+	var res attemptResult
+	backoff := ro.base
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		status, retryAfter, err := postOnce(ctx, client, url, body)
+		d := time.Since(t0)
+		if err != nil {
+			res.status = 0
+			res.timeout = isTimeout(err)
+			return res
+		}
+		res.status = status
+		if status/100 == 2 {
+			res.ok = true
+			res.latency = d
+			return res
+		}
+		if status == http.StatusTooManyRequests {
+			res.sheds++
+		}
+		retryable := status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+		if !retryable || attempt >= ro.retries {
+			return res
+		}
+		res.retries++
+		sleep := time.Duration(float64(backoff) * backoffJitter(seed, attempt))
+		if retryAfter > sleep {
+			sleep = retryAfter
+		}
+		if ro.cap > 0 && sleep > ro.cap {
+			sleep = ro.cap
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			res.timeout = true
+			return res
+		case <-timer.C:
+		}
+		backoff *= 2
+		if ro.cap > 0 && backoff > ro.cap {
+			backoff = ro.cap
+		}
+	}
+}
+
+// postOnce issues one POST and returns the status and any Retry-After
+// hint.
+func postOnce(ctx context.Context, client *http.Client, url string, body []byte) (status int, retryAfter time.Duration, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, 0, err
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, retryAfter, nil
+}
+
+func run(ctx context.Context, addr string, n, c, batch int, tr float64, warm int,
+	inprocess bool, ro retryOpts, timeout time.Duration) (*report, error) {
 	if n <= 0 || c <= 0 || batch <= 0 {
 		return nil, fmt.Errorf("-n, -c and -batch must be positive")
 	}
 	url := "http://" + addr + "/v1/batch"
-	client := &http.Client{Timeout: 5 * time.Minute}
+	client := &http.Client{Timeout: timeout}
 
-	post := func(seed int) error {
-		body, err := json.Marshal(batchJSON{RiseTimePs: tr, Segments: segments(batch, seed)})
+	// The geometry pool cycles with period 5, so there are only 5
+	// distinct request bodies. Marshal them once: a load generator
+	// that spends its measurement window JSON-encoding megabytes of
+	// segments measures itself, not the daemon — and on small hosts
+	// the wasted client CPU starves the very server under test.
+	const bodyVariants = 5
+	bodies := make([][]byte, bodyVariants)
+	for s := range bodies {
+		b, err := json.Marshal(batchJSON{RiseTimePs: tr, Segments: segments(batch, s)})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-		if err != nil {
-			return err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := client.Do(req)
-		if err != nil {
-			return err
-		}
-		defer resp.Body.Close()
-		out, err := io.ReadAll(resp.Body)
-		if err != nil {
-			return err
-		}
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("status %d: %s", resp.StatusCode, out)
-		}
-		return nil
+		bodies[s] = b
 	}
+	bodyFor := func(seed int) []byte { return bodies[seed%bodyVariants] }
 
 	// Warmup builds (or maps) the daemon's table sets and fills
 	// connection pools; run it at full concurrency so a cold daemon
-	// also demonstrates miss coalescing.
-	if err := fanout(ctx, warm, c, func(i int) (time.Duration, error) {
-		t0 := time.Now()
-		err := post(i)
-		return time.Since(t0), err
-	}, nil); err != nil {
+	// also demonstrates miss coalescing. Warmup outcomes are not
+	// recorded — except a fully unreachable daemon, which fails fast.
+	var warmFails atomic.Int64
+	if err := fanout(ctx, warm, c, func(i int) error {
+		res := doRequest(ctx, client, url, bodyFor(i), i, ro)
+		if !res.ok {
+			warmFails.Add(1)
+		}
+		return nil
+	}); err != nil {
 		return nil, fmt.Errorf("warmup: %w", err)
 	}
+	if warm > 0 && warmFails.Load() == int64(warm) {
+		return nil, fmt.Errorf("warmup: all %d requests failed; daemon unreachable at %s?", warm, addr)
+	}
 
-	lat := make([]time.Duration, n)
-	var errs atomic.Int64
+	var t tally
 	t0 := time.Now()
-	err := fanout(ctx, n, c, func(i int) (time.Duration, error) {
-		s0 := time.Now()
-		err := post(i)
-		return time.Since(s0), err
-	}, func(i int, d time.Duration, err error) {
-		lat[i] = d
-		if err != nil {
-			errs.Add(1)
-		}
+	err := fanout(ctx, n, c, func(i int) error {
+		t.add(doRequest(ctx, client, url, bodyFor(i), i, ro))
+		return nil
 	})
 	wall := time.Since(t0)
 	if err != nil {
-		return nil, fmt.Errorf("%d of %d requests failed; first: %w", errs.Load(), n, err)
+		return nil, err
 	}
 
 	rep := &report{
-		Requests:      n,
-		Concurrency:   c,
-		Batch:         batch,
-		Errors:        errs.Load(),
-		ThroughputRPS: float64(n) / wall.Seconds(),
-		P50Ns:         percentile(lat, 50),
-		P90Ns:         percentile(lat, 90),
-		P99Ns:         percentile(lat, 99),
+		Requests:       n,
+		Concurrency:    c,
+		Batch:          batch,
+		Errors:         t.errs,
+		Sheds:          t.sheds,
+		Retries:        t.retries,
+		Timeouts:       t.timeouts,
+		ErrorsByStatus: t.byStatus,
+		ThroughputRPS:  float64(t.okCount) / wall.Seconds(),
+		P50Ns:          percentile(t.lat, 50),
+		P90Ns:          percentile(t.lat, 90),
+		P99Ns:          percentile(t.lat, 99),
 	}
 	if inprocess {
 		p50, err := inProcessP50(ctx, n, c, batch, tr)
@@ -205,20 +376,18 @@ func run(ctx context.Context, addr string, n, c, batch int, tr float64, warm int
 	return rep, nil
 }
 
-// fanout runs n calls across c workers, recording each result through
-// done (when non-nil), and returns the first error (workers keep
-// draining their claims; a load run wants the full error count, not a
-// stop at the first failure).
-func fanout(ctx context.Context, n, c int, call func(i int) (time.Duration, error),
-	done func(i int, d time.Duration, err error)) error {
+// fanout runs n calls across c workers and returns the first
+// non-HTTP error (body marshalling, cancellation); HTTP-level
+// failures are the caller's business via its own accounting.
+func fanout(ctx context.Context, n, c int, call func(i int) error) error {
 	if n == 0 {
 		return nil
 	}
 	var (
-		next    atomic.Int64
-		wg      sync.WaitGroup
-		errMu   sync.Mutex
-		wgFirst error
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
 	)
 	for w := 0; w < c; w++ {
 		wg.Add(1)
@@ -229,14 +398,10 @@ func fanout(ctx context.Context, n, c int, call func(i int) (time.Duration, erro
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				d, err := call(i)
-				if done != nil {
-					done(i, d, err)
-				}
-				if err != nil {
+				if err := call(i); err != nil {
 					errMu.Lock()
-					if wgFirst == nil {
-						wgFirst = err
+					if first == nil {
+						first = err
 					}
 					errMu.Unlock()
 				}
@@ -247,7 +412,7 @@ func fanout(ctx context.Context, n, c int, call func(i int) (time.Duration, erro
 	if ctx.Err() != nil {
 		return ctx.Err()
 	}
-	return wgFirst
+	return first
 }
 
 func percentile(lat []time.Duration, p int) int64 {
@@ -298,7 +463,7 @@ func inProcessP50(ctx context.Context, n, c, batch int, tr float64) (int64, erro
 		return 0, err
 	}
 
-	toCore := func(segs []segmentJSON) ([]core.Segment, error) {
+	toCore := func(segs []segmentJSON) []core.Segment {
 		out := make([]core.Segment, len(segs))
 		for i, s := range segs {
 			sh := geom.ShieldNone
@@ -313,21 +478,25 @@ func inProcessP50(ctx context.Context, n, c, batch int, tr float64) (int64, erro
 				Shielding:   sh,
 			}
 		}
-		return out, nil
+		return out
 	}
 
-	lat := make([]time.Duration, n)
-	err = fanout(ctx, n, c, func(i int) (time.Duration, error) {
-		segs, err := toCore(segments(batch, i))
-		if err != nil {
-			return 0, err
-		}
+	var (
+		mu  sync.Mutex
+		lat []time.Duration
+	)
+	err = fanout(ctx, n, c, func(i int) error {
+		segs := toCore(segments(batch, i))
 		t0 := time.Now()
 		if _, err := ext.SegmentsRLCCtx(ctx, segs); err != nil {
-			return 0, err
+			return err
 		}
-		return time.Since(t0), nil
-	}, func(i int, d time.Duration, err error) { lat[i] = d })
+		d := time.Since(t0)
+		mu.Lock()
+		lat = append(lat, d)
+		mu.Unlock()
+		return nil
+	})
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastRetry keeps backoff sleeps microscopic so tests don't wait out
+// real Retry-After hints.
+var fastRetry = retryOpts{retries: 3, base: time.Millisecond, cap: 5 * time.Millisecond}
+
+func TestDoRequestRetriesShedThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	client := &http.Client{Timeout: time.Second}
+	res := doRequest(context.Background(), client, srv.URL, []byte(`{}`), 0, fastRetry)
+	if !res.ok {
+		t.Fatalf("request failed after retry: status %d", res.status)
+	}
+	if res.sheds != 1 || res.retries != 1 {
+		t.Fatalf("sheds=%d retries=%d, want 1 and 1", res.sheds, res.retries)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+}
+
+func TestDoRequestHonorsRetryAfterCap(t *testing.T) {
+	// Retry-After of 60s must be capped at ro.cap, not slept.
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "60")
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	client := &http.Client{Timeout: time.Second}
+	t0 := time.Now()
+	res := doRequest(context.Background(), client, srv.URL, []byte(`{}`), 1, fastRetry)
+	if !res.ok {
+		t.Fatalf("request failed: status %d", res.status)
+	}
+	if d := time.Since(t0); d > 2*time.Second {
+		t.Fatalf("retry slept %s despite %s cap", d, fastRetry.cap)
+	}
+	if res.sheds != 0 {
+		t.Fatalf("503 counted as shed: sheds=%d", res.sheds)
+	}
+}
+
+func TestDoRequestTerminalStatusNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad geometry", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	client := &http.Client{Timeout: time.Second}
+	res := doRequest(context.Background(), client, srv.URL, []byte(`{}`), 2, fastRetry)
+	if res.ok || res.status != http.StatusBadRequest {
+		t.Fatalf("ok=%v status=%d, want terminal 400", res.ok, res.status)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("400 retried: server saw %d calls", got)
+	}
+	if res.retries != 0 {
+		t.Fatalf("retries=%d for a terminal status", res.retries)
+	}
+}
+
+func TestDoRequestExhaustsRetryBudget(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "overloaded", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	client := &http.Client{Timeout: time.Second}
+	res := doRequest(context.Background(), client, srv.URL, []byte(`{}`), 3, fastRetry)
+	if res.ok {
+		t.Fatal("request succeeded against an always-429 server")
+	}
+	if res.status != http.StatusTooManyRequests {
+		t.Fatalf("terminal status %d, want 429", res.status)
+	}
+	if want := int64(1 + fastRetry.retries); calls.Load() != want {
+		t.Fatalf("server saw %d calls, want %d", calls.Load(), want)
+	}
+	if res.retries != int64(fastRetry.retries) {
+		t.Fatalf("retries=%d, want %d", res.retries, fastRetry.retries)
+	}
+	if res.sheds != int64(1+fastRetry.retries) {
+		t.Fatalf("sheds=%d, want every 429 counted", res.sheds)
+	}
+}
+
+func TestRunSeparatesErrorsFromPercentiles(t *testing.T) {
+	// Requests alternate: even seeds succeed fast, odd seeds fail 422
+	// terminally after a deliberate delay. Percentiles must cover the
+	// fast successes only, and the failures must land in
+	// errors_by_status — not in the latency distribution.
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n%2 == 0 {
+			time.Sleep(50 * time.Millisecond)
+			http.Error(w, "out of range", http.StatusUnprocessableEntity)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	const n = 20
+	rep, err := run(context.Background(), srv.Listener.Addr().String(),
+		n, 2, 1, 50, 0 /* no warmup */, false, fastRetry, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != n/2 {
+		t.Fatalf("errors=%d, want %d", rep.Errors, n/2)
+	}
+	if got := rep.ErrorsByStatus["422"]; got != n/2 {
+		t.Fatalf("errors_by_status[422]=%d, want %d", got, n/2)
+	}
+	if rep.Sheds != 0 || rep.Retries != 0 {
+		t.Fatalf("sheds=%d retries=%d on a shed-free run", rep.Sheds, rep.Retries)
+	}
+	// Successful responses return immediately; if the 50ms failures
+	// leaked into the distribution p99 would sit at ~50ms.
+	if rep.P99Ns > (20 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("p99=%s: failed-request latency leaked into percentiles",
+			time.Duration(rep.P99Ns))
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	for seed := 0; seed < 8; seed++ {
+		for attempt := 0; attempt < 8; attempt++ {
+			j := backoffJitter(seed, attempt)
+			if j < 0.5 || j >= 1.5 {
+				t.Fatalf("jitter(%d,%d)=%v outside [0.5,1.5)", seed, attempt, j)
+			}
+			if j != backoffJitter(seed, attempt) {
+				t.Fatalf("jitter(%d,%d) not deterministic", seed, attempt)
+			}
+		}
+	}
+}

@@ -48,6 +48,16 @@ const (
 	CacheWrite Point = "table.cache.write"
 	// SplineLookup guards the warm-path table lookups (SelfL/MutualL).
 	SplineLookup Point = "table.lookup"
+	// ServeAdmit guards request admission in the extraction daemon: an
+	// injected error forces a shed (429) without consuming capacity.
+	ServeAdmit Point = "serve.admit"
+	// ServeFill guards a registry fill — the daemon's one
+	// catastrophically expensive cold path (table build or cache load).
+	// Injected errors count toward the cold-build circuit breaker.
+	ServeFill Point = "serve.fill"
+	// ServeRespond guards response encoding in the daemon's handlers;
+	// panic mode here exercises the handler-wrapper recovery.
+	ServeRespond Point = "serve.respond"
 )
 
 // Mode selects what a firing rule does to the call.

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Admission control sits in front of the extract/batch handlers: a
+// bounded concurrency semaphore plus a short bounded wait queue.
+// Under overload the daemon's job is to keep the admitted work fast
+// and shed the rest with 429 + Retry-After — a queue deeper than a
+// few requests only converts overload into latency, and an unbounded
+// handler count converts it into an OOM. Warm lookups are
+// microseconds, so capacity here is really a bound on how many cold
+// builds and JSON codecs can be in flight at once.
+
+// ShedError is returned when admission control refuses a request; it
+// maps to 429 + Retry-After at the HTTP layer.
+type ShedError struct {
+	Reason     string // "queue full", "queue wait deadline", "injected"
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("serve: overloaded (%s); retry in %s", e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
+
+// admitter implements the semaphore + bounded queue. A nil *admitter
+// admits everything (admission disabled).
+type admitter struct {
+	sem   chan struct{} // capacity tokens: len == in-flight handlers
+	queue chan struct{} // queue tokens: len == waiters
+	wait  time.Duration // max time a queued request waits for a slot
+}
+
+// newAdmitter builds an admitter with the given concurrency capacity,
+// queue depth and queue-wait budget. capacity <= 0 disables admission
+// control. queue <= 0 means no waiting: at capacity every request
+// sheds immediately. wait <= 0 defaults to one second.
+func newAdmitter(capacity, queue int, wait time.Duration) *admitter {
+	if capacity <= 0 {
+		return nil
+	}
+	if wait <= 0 {
+		wait = time.Second
+	}
+	a := &admitter{sem: make(chan struct{}, capacity), wait: wait}
+	if queue > 0 {
+		a.queue = make(chan struct{}, queue)
+	}
+	return a
+}
+
+// admit blocks until the request holds a capacity token, sheds it, or
+// ctx is cancelled (a client that hung up while queued is not a
+// shed). On success the returned release frees the token; it must be
+// called exactly once.
+func (a *admitter) admit(ctx context.Context) (release func(), err error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	// Fast path: capacity available, no queueing.
+	select {
+	case a.sem <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	if a.queue == nil {
+		return nil, &ShedError{Reason: "at capacity", RetryAfter: a.retryAfter()}
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return nil, &ShedError{Reason: "queue full", RetryAfter: a.retryAfter()}
+	}
+	defer func() { <-a.queue }()
+	timer := time.NewTimer(a.wait)
+	defer timer.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		return a.release, nil
+	case <-timer.C:
+		return nil, &ShedError{Reason: "queue wait deadline", RetryAfter: a.retryAfter()}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admitter) release() { <-a.sem }
+
+// retryAfter hints how long a shed client should back off: the queue
+// drains within one queue-wait budget, floored at a second because
+// Retry-After has second granularity.
+func (a *admitter) retryAfter() time.Duration {
+	if a.wait > time.Second {
+		return a.wait
+	}
+	return time.Second
+}

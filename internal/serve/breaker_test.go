@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	b := &breaker{threshold: 3, cooldown: 5 * time.Second}
+
+	// Closed: failures below the threshold keep admitting.
+	for i := 0; i < 2; i++ {
+		if ok, _, probe := b.allow(now); !ok || probe {
+			t.Fatalf("closed breaker: allow = (%v, probe %v) after %d failures", ok, probe, i)
+		}
+		if b.failure(now) {
+			t.Fatalf("failure %d tripped below threshold", i+1)
+		}
+	}
+	// Third consecutive failure trips.
+	if !b.failure(now) {
+		t.Fatal("threshold failure did not trip")
+	}
+	if b.state != bkOpen {
+		t.Fatalf("state %v after trip, want open", b.state)
+	}
+
+	// Open: short-circuit with the remaining cooldown.
+	ok, retry, _ := b.allow(now.Add(2 * time.Second))
+	if ok {
+		t.Fatal("open breaker admitted during cooldown")
+	}
+	if retry != 3*time.Second {
+		t.Fatalf("retryAfter = %s, want remaining 3s", retry)
+	}
+
+	// Failures observed while open (late waiters) never re-trip.
+	if b.failure(now.Add(time.Second)) {
+		t.Fatal("failure while open counted as a trip")
+	}
+
+	// Cooldown expiry: exactly one half-open probe.
+	later := now.Add(6 * time.Second)
+	ok, _, probe := b.allow(later)
+	if !ok || !probe {
+		t.Fatalf("post-cooldown allow = (%v, probe %v), want one probe", ok, probe)
+	}
+	if ok, retry, _ := b.allow(later); ok || retry <= 0 {
+		t.Fatalf("second caller during probe: allow = (%v, %s), want rejection with hint", ok, retry)
+	}
+
+	// Failed probe re-opens for a full cooldown and counts as a trip.
+	if !b.failure(later) {
+		t.Fatal("failed probe did not count as a trip")
+	}
+	if ok, _, _ := b.allow(later.Add(time.Second)); ok {
+		t.Fatal("breaker admitted during post-probe cooldown")
+	}
+
+	// Successful probe closes and resets the failure count.
+	if ok, _, probe := b.allow(later.Add(10 * time.Second)); !ok || !probe {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.success()
+	if b.state != bkClosed || b.failures != 0 {
+		t.Fatalf("state %v failures %d after success, want closed 0", b.state, b.failures)
+	}
+	if b.failure(later) {
+		t.Fatal("first failure after recovery tripped (stale count)")
+	}
+}
+
+func TestAdmitterCapacityAndQueue(t *testing.T) {
+	// nil admitter (admission disabled) admits everything.
+	var off *admitter
+	rel, err := off.admit(context.Background())
+	if err != nil {
+		t.Fatalf("nil admitter refused: %v", err)
+	}
+	rel()
+
+	// capacity 1, no queue: at capacity every request sheds at once.
+	a := newAdmitter(1, 0, time.Second)
+	rel1, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shed *ShedError
+	if _, err := a.admit(context.Background()); !errors.As(err, &shed) {
+		t.Fatalf("at capacity: err = %v, want ShedError", err)
+	} else if shed.RetryAfter < time.Second {
+		t.Fatalf("Retry-After %s below the 1s floor", shed.RetryAfter)
+	}
+	rel1()
+	rel2, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatalf("post-release admit: %v", err)
+	}
+	rel2()
+}
+
+func TestAdmitterQueueWaitAndHandoff(t *testing.T) {
+	a := newAdmitter(1, 1, 200*time.Millisecond)
+	rel1, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One waiter queues; it must be admitted when the slot frees.
+	admitted := make(chan func(), 1)
+	errCh := make(chan error, 1)
+	go func() {
+		rel, err := a.admit(context.Background())
+		if err != nil {
+			errCh <- err
+			return
+		}
+		admitted <- rel
+	}()
+	// Wait until the waiter holds the queue token, then a third request
+	// finds the queue full and sheds immediately.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(a.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never entered the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var shed *ShedError
+	if _, err := a.admit(context.Background()); !errors.As(err, &shed) {
+		t.Fatalf("queue full: err = %v, want ShedError", err)
+	}
+
+	rel1()
+	select {
+	case rel := <-admitted:
+		rel()
+	case err := <-errCh:
+		t.Fatalf("queued request shed despite a freed slot: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request never admitted")
+	}
+}
+
+func TestAdmitterQueueWaitDeadline(t *testing.T) {
+	a := newAdmitter(1, 1, 20*time.Millisecond)
+	rel1, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel1()
+	var shed *ShedError
+	if _, err := a.admit(context.Background()); !errors.As(err, &shed) {
+		t.Fatalf("queue-wait expiry: err = %v, want ShedError", err)
+	} else if shed.Reason != "queue wait deadline" {
+		t.Fatalf("shed reason %q", shed.Reason)
+	}
+}
+
+func TestAdmitterClientGoneWhileQueuedIsNotShed(t *testing.T) {
+	a := newAdmitter(1, 1, time.Minute)
+	rel1, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel1()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := a.admit(ctx)
+		errCh <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(a.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never entered the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		var shed *ShedError
+		if errors.As(err, &shed) {
+			t.Fatalf("cancelled waiter reported as shed: %v", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+	// The queue token must be returned.
+	if len(a.queue) != 0 {
+		t.Fatalf("queue token leaked: len %d", len(a.queue))
+	}
+}
+
+func TestRequestBudget(t *testing.T) {
+	s := &Server{cfg: Config{RequestTimeout: 100 * time.Millisecond}}
+	for _, tc := range []struct {
+		ms   float64
+		want time.Duration
+	}{
+		{0, 100 * time.Millisecond},   // no client value: server cap
+		{50, 50 * time.Millisecond},   // client lowers
+		{500, 100 * time.Millisecond}, // client may never raise
+	} {
+		got, err := s.requestBudget(tc.ms)
+		if err != nil || got != tc.want {
+			t.Errorf("requestBudget(%g) = (%s, %v), want %s", tc.ms, got, err, tc.want)
+		}
+	}
+	uncapped := &Server{}
+	if got, err := uncapped.requestBudget(250); err != nil || got != 250*time.Millisecond {
+		t.Errorf("uncapped requestBudget(250) = (%s, %v)", got, err)
+	}
+	if got, err := uncapped.requestBudget(0); err != nil || got != 0 {
+		t.Errorf("uncapped requestBudget(0) = (%s, %v)", got, err)
+	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := s.requestBudget(bad); err == nil {
+			t.Errorf("requestBudget(%g) accepted", bad)
+		}
+	}
+}

@@ -11,11 +11,14 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"clockrlc/internal/fault"
 	"clockrlc/internal/obs"
 	"clockrlc/internal/table"
 )
@@ -23,11 +26,18 @@ import (
 // Registry accounting: hits serve an already-resident set, misses
 // fill from the cache (or a build), evictions count sets pushed out
 // by the capacity bound, and open_sets gauges the resident count.
+// breaker_open counts circuit trips (closed/half-open → open),
+// breaker_probes counts half-open probe fills admitted, and
+// breaker_rejected counts acquires short-circuited by an open
+// circuit.
 var (
-	regHits   = obs.GetCounter("serve.registry_hits")
-	regMisses = obs.GetCounter("serve.registry_misses")
-	regEvicts = obs.GetCounter("serve.registry_evictions")
-	regOpen   = obs.GetGauge("serve.registry_open_sets")
+	regHits       = obs.GetCounter("serve.registry_hits")
+	regMisses     = obs.GetCounter("serve.registry_misses")
+	regEvicts     = obs.GetCounter("serve.registry_evictions")
+	regOpen       = obs.GetGauge("serve.registry_open_sets")
+	regBkOpens    = obs.GetCounter("serve.breaker_open")
+	regBkProbes   = obs.GetCounter("serve.breaker_probes")
+	regBkRejected = obs.GetCounter("serve.breaker_rejected")
 )
 
 // openSets backs the open_sets gauge (obs gauges are set-only).
@@ -49,6 +59,9 @@ type Registry struct {
 	cache    *table.Cache
 	o        *obs.Observer
 	perShard int // max ready entries per shard; 0 = unbounded
+	bkFails  int // consecutive fill failures to open a key's breaker; 0 = disabled
+	bkCool   time.Duration
+	now      func() time.Time
 	clock    atomic.Int64
 	shards   [regShardCount]regShard
 }
@@ -56,6 +69,10 @@ type Registry struct {
 type regShard struct {
 	mu      sync.Mutex
 	entries map[string]*regEntry
+	// breakers outlive entries: a failed fill removes its entry (so
+	// the key stays retryable) but the key's failure history must
+	// persist to trip the circuit.
+	breakers map[string]*breaker
 }
 
 // regEntry is one resident (or filling) table set. ready is closed
@@ -73,18 +90,48 @@ type regEntry struct {
 	lastUse int64
 }
 
-// NewRegistry builds a registry over cache (which may be nil: misses
-// then build in memory without persistence). maxSets bounds the
-// resident set count (approximately: the bound is enforced per
-// shard); 0 means unbounded. Spans from fills go to o (nil selects
-// the default observer).
-func NewRegistry(cache *table.Cache, maxSets int, o *obs.Observer) *Registry {
-	r := &Registry{cache: cache, o: o}
-	if maxSets > 0 {
-		r.perShard = (maxSets + regShardCount - 1) / regShardCount
+// RegistryOptions parameterises a registry.
+type RegistryOptions struct {
+	// Cache may be nil: misses then build in memory without
+	// persistence.
+	Cache *table.Cache
+	// MaxSets bounds the resident set count (approximately: the bound
+	// is enforced per shard); 0 means unbounded.
+	MaxSets int
+	// Observer routes fill spans (nil selects the default observer).
+	Observer *obs.Observer
+	// BreakerFailures opens a key's cold-build circuit after that many
+	// consecutive caller-observed fill failures; 0 disables the
+	// breaker.
+	BreakerFailures int
+	// BreakerCooldown is how long an open circuit short-circuits
+	// acquires before admitting one half-open probe (default 5s).
+	BreakerCooldown time.Duration
+	// Now overrides the breaker's clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// NewRegistry builds a registry from opts.
+func NewRegistry(opts RegistryOptions) *Registry {
+	r := &Registry{
+		cache:   opts.Cache,
+		o:       opts.Observer,
+		bkFails: opts.BreakerFailures,
+		bkCool:  opts.BreakerCooldown,
+		now:     opts.Now,
+	}
+	if r.bkFails > 0 && r.bkCool <= 0 {
+		r.bkCool = 5 * time.Second
+	}
+	if r.now == nil {
+		r.now = time.Now
+	}
+	if opts.MaxSets > 0 {
+		r.perShard = (opts.MaxSets + regShardCount - 1) / regShardCount
 	}
 	for i := range r.shards {
 		r.shards[i].entries = map[string]*regEntry{}
+		r.shards[i].breakers = map[string]*breaker{}
 	}
 	return r
 }
@@ -121,16 +168,30 @@ func (r *Registry) Acquire(ctx context.Context, cfg table.Config, axes table.Axe
 		}
 		if e.err != nil {
 			// The filler already removed the failed entry from the map;
-			// just drop our reference.
+			// drop our reference and record our own observation of the
+			// failure — under coalescing every disappointed waiter
+			// counts, which is what makes the trip deterministic.
 			r.releaseEntry(sh, e)
-			return nil, nil, e.err
+			return nil, nil, r.fillFailed(sh, key, e.err, false)
 		}
 		regHits.Inc()
 		return e.set, r.releaseFunc(sh, e), nil
 	}
 
-	// Miss: insert a filling entry, evict over capacity, then fill
-	// outside the lock so other keys stay acquirable.
+	// Miss: consult the key's breaker, insert a filling entry, evict
+	// over capacity, then fill outside the lock so other keys stay
+	// acquirable.
+	probe := false
+	if r.bkFails > 0 {
+		b := sh.breakerLocked(key, r)
+		ok, retryAfter, p := b.allow(r.now())
+		if !ok {
+			sh.mu.Unlock()
+			regBkRejected.Inc()
+			return nil, nil, &BreakerOpenError{Key: key, RetryAfter: retryAfter}
+		}
+		probe = p
+	}
 	e := &regEntry{key: key, ready: make(chan struct{}), refs: 1, lastUse: r.clock.Add(1)}
 	sh.entries[key] = e
 	victims := sh.evictOverCapLocked(r.perShard, e)
@@ -139,6 +200,9 @@ func (r *Registry) Acquire(ctx context.Context, cfg table.Config, axes table.Axe
 		v.Close()
 	}
 	regMisses.Inc()
+	if probe {
+		regBkProbes.Inc()
+	}
 
 	set, err := r.fill(ctx, cfg, axes)
 	e.set, e.err = set, err
@@ -151,17 +215,102 @@ func (r *Registry) Acquire(ctx context.Context, cfg table.Config, axes table.Axe
 		sh.mu.Unlock()
 		close(e.ready)
 		r.releaseEntry(sh, e)
-		return nil, nil, err
+		return nil, nil, r.fillFailed(sh, key, err, probe)
 	}
+	r.fillSucceeded(sh, key)
 	openSetsAdd(1)
 	close(e.ready)
 	return set, r.releaseFunc(sh, e), nil
+}
+
+// breakerLocked returns the key's breaker, creating it on first use.
+// Caller holds sh.mu.
+func (sh *regShard) breakerLocked(key string, r *Registry) *breaker {
+	b, ok := sh.breakers[key]
+	if !ok {
+		b = &breaker{threshold: r.bkFails, cooldown: r.bkCool}
+		sh.breakers[key] = b
+	}
+	return b
+}
+
+// fillFailed records one caller-observed fill failure against the
+// key's breaker and wraps the error for the HTTP layer. Cancellations
+// pass through unwrapped and uncounted: a caller giving up says
+// nothing about solver health, and a draining daemon must not trip
+// its own breakers. A cancelled half-open probe re-arms the breaker
+// open with an expired cooldown so the very next acquire probes again
+// — never stranding the key in the probe-in-flight state.
+func (r *Registry) fillFailed(sh *regShard, key string, err error, probe bool) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if probe && r.bkFails > 0 {
+			sh.mu.Lock()
+			if b, ok := sh.breakers[key]; ok && b.state == bkHalfOpen {
+				b.state = bkOpen
+				b.until = r.now()
+			}
+			sh.mu.Unlock()
+		}
+		return err
+	}
+	if r.bkFails > 0 {
+		sh.mu.Lock()
+		tripped := sh.breakerLocked(key, r).failure(r.now())
+		sh.mu.Unlock()
+		if tripped {
+			regBkOpens.Inc()
+		}
+	}
+	return &FillError{Err: err, RetryAfter: r.retryAfterHint()}
+}
+
+// fillSucceeded closes the key's breaker (resetting its
+// consecutive-failure count).
+func (r *Registry) fillSucceeded(sh *regShard, key string) {
+	if r.bkFails <= 0 {
+		return
+	}
+	sh.mu.Lock()
+	if b, ok := sh.breakers[key]; ok {
+		b.success()
+	}
+	sh.mu.Unlock()
+}
+
+// retryAfterHint is the backoff a failed cold build suggests to
+// clients: the breaker cooldown when armed, else one second.
+func (r *Registry) retryAfterHint() time.Duration {
+	if r.bkCool > 0 {
+		return r.bkCool
+	}
+	return time.Second
+}
+
+// OpenBreakers counts keys whose cold-build circuit is currently open
+// (half-open probes in flight are not counted: the key is being
+// retested). Surfaced on /healthz for operators and load balancers.
+func (r *Registry) OpenBreakers() int {
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, b := range sh.breakers {
+			if b.state == bkOpen {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // fill loads or builds the set. The cache path is single-flighted
 // across the whole process; the direct build path is only reached
 // when the registry was constructed without a cache.
 func (r *Registry) fill(ctx context.Context, cfg table.Config, axes table.Axes) (*table.Set, error) {
+	if err := fault.Check(fault.ServeFill); err != nil {
+		return nil, err
+	}
 	if r.cache != nil {
 		return r.cache.GetOrBuildCtx(ctx, cfg, axes, r.o)
 	}

@@ -55,7 +55,7 @@ func configAtFrequency(f float64) table.Config {
 // Two acquires of one key share one *table.Set; the registry counts
 // one miss and one hit.
 func TestRegistryAcquireSharesOneSet(t *testing.T) {
-	r := NewRegistry(nil, 0, nil)
+	r := NewRegistry(RegistryOptions{})
 	hits0, misses0 := regHits.Value(), regMisses.Value()
 
 	s1, rel1, err := r.Acquire(context.Background(), testTableConfig(), testAxes())
@@ -92,7 +92,7 @@ func TestRegistryColdAcquire32Concurrent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := NewRegistry(cache, 0, nil)
+	r := NewRegistry(RegistryOptions{Cache: cache})
 	fault.Register(fault.NewInjector(7, fault.Rule{
 		Point: fault.SolverCall, Mode: fault.ModeLatency, Prob: 1, Delay: 2 * time.Millisecond,
 	}))
@@ -175,7 +175,7 @@ func TestRegistryEvictionRespectsRefcounts(t *testing.T) {
 	}
 	_ = warm
 
-	r := NewRegistry(cache, 1, nil) // perShard = 1
+	r := NewRegistry(RegistryOptions{Cache: cache, MaxSets: 1}) // perShard = 1
 	cfgB := sameShardConfig(t, r, cfgA, axes)
 	if _, err := cache.GetOrBuildCtx(ctx, cfgB, axes, nil); err != nil {
 		t.Fatal(err)
@@ -265,7 +265,7 @@ func TestRegistryMappingCountFlat(t *testing.T) {
 		}
 	}
 
-	r := NewRegistry(cache, 1, nil)
+	r := NewRegistry(RegistryOptions{Cache: cache, MaxSets: 1})
 	cycle := func() {
 		for _, cfg := range cfgs {
 			s, rel, err := r.Acquire(ctx, cfg, axes)
@@ -298,7 +298,7 @@ func TestRegistryMappingCountFlat(t *testing.T) {
 
 // A failed fill must not poison the key: the next acquire retries.
 func TestRegistryFailedFillRetries(t *testing.T) {
-	r := NewRegistry(nil, 0, nil)
+	r := NewRegistry(RegistryOptions{})
 	cfg, axes := testTableConfig(), testAxes()
 
 	ctx, cancel := context.WithCancel(context.Background())

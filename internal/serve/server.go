@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +15,7 @@ import (
 	"clockrlc/internal/check"
 	"clockrlc/internal/cliobs"
 	"clockrlc/internal/core"
+	"clockrlc/internal/fault"
 	"clockrlc/internal/geom"
 	"clockrlc/internal/netlist"
 	"clockrlc/internal/obs"
@@ -21,15 +24,29 @@ import (
 )
 
 // Request accounting: requests by endpoint outcome, segments
-// extracted through the service, and request latency.
+// extracted through the service, and request latency. Overload
+// accounting: shed counts requests refused by admission control
+// (429), deadline_exceeded counts requests whose per-request budget
+// fired (503), client_gone counts requests whose client disconnected
+// before the response (499), and panics counts handler panics
+// recovered into 500s.
 var (
 	srvRequests  = obs.GetCounter("serve.requests")
 	srvErrors    = obs.GetCounter("serve.request_errors")
 	srvSegments  = obs.GetCounter("serve.segments")
 	srvLatency   = obs.GetHistogram("serve.request_seconds")
 	srvInFlight  = obs.GetGauge("serve.inflight")
+	srvShed      = obs.GetCounter("serve.shed")
+	srvDeadline  = obs.GetCounter("serve.deadline_exceeded")
+	srvGone      = obs.GetCounter("serve.client_gone")
+	srvPanics    = obs.GetCounter("serve.panics")
 	srvInFlightN atomic.Int64
 )
+
+// StatusClientClosedRequest is nginx's 499: the client went away
+// before the response; no standard code covers it and the distinction
+// from a server-caused 503 matters when reading overload dashboards.
+const StatusClientClosedRequest = 499
 
 // maxBodyBytes bounds a request body; a batch of tens of thousands of
 // segments fits comfortably.
@@ -58,6 +75,31 @@ type Config struct {
 	DefaultLookup table.LookupPolicy
 	// Observer routes the service's spans (nil = process default).
 	Observer *obs.Observer
+
+	// MaxInFlight bounds concurrently admitted extract/batch requests
+	// (0 = unbounded: admission control off).
+	MaxInFlight int
+	// QueueDepth bounds requests waiting for an admission slot; at
+	// capacity with a full queue the daemon sheds with 429 +
+	// Retry-After. 0 means shed immediately at capacity.
+	QueueDepth int
+	// QueueWait bounds how long a queued request waits before being
+	// shed (0 = 1s). Only meaningful with MaxInFlight > 0.
+	QueueWait time.Duration
+	// RequestTimeout is the per-request extraction budget wrapped into
+	// the request context; clients may lower it (or set their own when
+	// this is 0) via timeout_ms, but never raise it past this cap.
+	// 0 = no server-imposed deadline.
+	RequestTimeout time.Duration
+	// BreakerFailures opens a table key's cold-build circuit breaker
+	// after that many consecutive fill failures (0 = breaker off).
+	BreakerFailures int
+	// BreakerCooldown is how long an open circuit sheds cold requests
+	// for that key before admitting a half-open probe (0 = 5s).
+	BreakerCooldown time.Duration
+
+	// now overrides the breaker clock in tests; nil means time.Now.
+	now func() time.Time
 }
 
 // Server is the extraction service: request handlers over a sharded
@@ -66,8 +108,10 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	reg      *Registry
+	adm      *admitter
 	mux      *http.ServeMux
 	inflight sync.WaitGroup
+	draining atomic.Bool
 }
 
 // New validates cfg and builds the service.
@@ -83,20 +127,54 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg: cfg,
-		reg: NewRegistry(cfg.Cache, cfg.MaxSets, cfg.Observer),
+		reg: NewRegistry(RegistryOptions{
+			Cache:           cfg.Cache,
+			MaxSets:         cfg.MaxSets,
+			Observer:        cfg.Observer,
+			BreakerFailures: cfg.BreakerFailures,
+			BreakerCooldown: cfg.BreakerCooldown,
+			Now:             cfg.now,
+		}),
+		adm: newAdmitter(cfg.MaxInFlight, cfg.QueueDepth, cfg.QueueWait),
 		mux: http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/extract", s.instrument("extract", s.handleExtract))
 	s.mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	debug := cliobs.NewDebugMux()
 	s.mux.Handle("/debug/", debug)
 	s.mux.Handle("/metrics", debug)
 	return s, nil
 }
+
+// handleHealthz is the readiness probe: "ok" while serving, 503
+// "draining" once StartDrain has been called so load balancers stop
+// routing during the drain window. The breaker line gives operators
+// the one number the runbook keys off: how many table keys are
+// currently refusing cold builds.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	open := s.reg.OpenBreakers()
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		fmt.Fprintf(w, "breakers_open %d\n", open)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+	fmt.Fprintf(w, "breakers_open %d\n", open)
+}
+
+// StartDrain flips readiness: /healthz starts answering 503 and new
+// extract/batch requests are refused with 503 + Retry-After, while
+// already-admitted requests run to completion. Call before
+// http.Server.Shutdown so load balancers observe the flip while the
+// listener still accepts probes.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Handler returns the service's HTTP handler: /v1/extract, /v1/batch,
 // /healthz, /metrics (Prometheus text), /debug/vars and
@@ -148,11 +226,14 @@ type SegmentRequest struct {
 
 // BatchRequest extracts a batch of segments at one significant
 // frequency. Check and LookupPolicy select per-request policies
-// (empty = the server's defaults).
+// (empty = the server's defaults). TimeoutMs lowers the per-request
+// extraction budget below the server's -request-timeout (it can never
+// raise it past that cap).
 type BatchRequest struct {
 	RiseTimePs   float64          `json:"rise_time_ps"`
 	Check        string           `json:"check,omitempty"`
 	LookupPolicy string           `json:"lookup_policy,omitempty"`
+	TimeoutMs    float64          `json:"timeout_ms,omitempty"`
 	Segments     []SegmentRequest `json:"segments"`
 }
 
@@ -163,6 +244,7 @@ type ExtractRequest struct {
 	RiseTimePs   float64 `json:"rise_time_ps"`
 	Check        string  `json:"check,omitempty"`
 	LookupPolicy string  `json:"lookup_policy,omitempty"`
+	TimeoutMs    float64 `json:"timeout_ms,omitempty"`
 }
 
 // SegmentResult is one extracted segment, SI units.
@@ -182,8 +264,37 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// instrument wraps a handler with the in-flight waitgroup and the
-// request counters/latency histogram.
+// statusWriter records whether (and with what status) a handler has
+// responded, so the panic recovery path knows if a best-effort 500 is
+// still possible and tests can observe the mapped status.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if !sw.wrote {
+		sw.wrote = true
+		sw.status = status
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if !sw.wrote {
+		sw.wrote = true
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the in-flight waitgroup, the
+// request counters/latency histogram, admission control, the drain
+// gate, and panic isolation. The recover runs inside the same
+// deferred function that re-arms the waitgroup, so a panicking
+// handler still reaches inflight.Done and Drain can never deadlock on
+// a crashed request.
 func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(1)
@@ -191,13 +302,63 @@ func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Reque
 		srvRequests.Inc()
 		t0 := time.Now()
 		ctx, sp := s.observer().StartCtx(r.Context(), "serve."+name)
+		sw := &statusWriter{ResponseWriter: w}
 		defer func() {
+			if p := recover(); p != nil {
+				srvPanics.Inc()
+				srvErrors.Inc()
+				if !sw.wrote {
+					writeJSON(sw, http.StatusInternalServerError,
+						errorResponse{Error: fmt.Sprintf("internal error: handler panic: %v", p)})
+				}
+			}
 			sp.End()
 			srvLatency.Observe(time.Since(t0).Seconds())
 			srvInFlight.Set(float64(srvInFlightN.Add(-1)))
 			s.inflight.Done()
 		}()
-		h(w, r.WithContext(ctx))
+		if s.draining.Load() {
+			sw.Header().Set("Retry-After", "1")
+			srvErrors.Inc()
+			writeJSON(sw, http.StatusServiceUnavailable, errorResponse{Error: "serve: draining"})
+			return
+		}
+		release, err := s.admitRequest(ctx)
+		if err != nil {
+			s.writeRequestError(sw, r, ctx, err)
+			return
+		}
+		defer release()
+		h(sw, r.WithContext(ctx))
+	}
+}
+
+// admitRequest runs the serve.admit fault point and the admission
+// semaphore; either can shed the request.
+func (s *Server) admitRequest(ctx context.Context) (func(), error) {
+	if err := fault.Check(fault.ServeAdmit); err != nil {
+		return nil, &ShedError{Reason: "injected", RetryAfter: time.Second}
+	}
+	return s.adm.admit(ctx)
+}
+
+// requestBudget resolves the effective extraction deadline from the
+// server cap and the client's timeout_ms. The client may only lower
+// the server's budget; with no server cap the client's value is
+// taken as-is.
+func (s *Server) requestBudget(timeoutMs float64) (time.Duration, error) {
+	if timeoutMs < 0 || math.IsNaN(timeoutMs) || math.IsInf(timeoutMs, 0) {
+		return 0, &badRequestError{fmt.Errorf("timeout_ms %g must be a non-negative number", timeoutMs)}
+	}
+	client := time.Duration(timeoutMs * float64(time.Millisecond))
+	server := s.cfg.RequestTimeout
+	switch {
+	case client <= 0:
+		return server, nil
+	case server > 0 && client > server:
+		return server, nil
+	default:
+		return client, nil
 	}
 }
 
@@ -206,17 +367,13 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	out, err := s.extract(r.Context(), BatchRequest{
+	s.serveBatch(w, r, BatchRequest{
 		RiseTimePs:   req.RiseTimePs,
 		Check:        req.Check,
 		LookupPolicy: req.LookupPolicy,
+		TimeoutMs:    req.TimeoutMs,
 		Segments:     []SegmentRequest{req.SegmentRequest},
-	})
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, toResult(out[0]))
+	}, func(out []netlist.SegmentRLC) any { return toResult(out[0]) })
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -224,16 +381,40 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	out, err := s.extract(r.Context(), req)
+	s.serveBatch(w, r, req, func(out []netlist.SegmentRLC) any {
+		resp := BatchResponse{Results: make([]SegmentResult, len(out))}
+		for i, rlc := range out {
+			resp.Results[i] = toResult(rlc)
+		}
+		return resp
+	})
+}
+
+// serveBatch is the shared handler body: resolve the request budget,
+// run the extraction under it, classify any failure, and encode the
+// response (crossing the serve.respond fault point).
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, req BatchRequest,
+	shape func([]netlist.SegmentRLC) any) {
+	budget, err := s.requestBudget(req.TimeoutMs)
 	if err != nil {
-		writeError(w, err)
+		s.writeRequestError(w, r, r.Context(), err)
 		return
 	}
-	resp := BatchResponse{Results: make([]SegmentResult, len(out))}
-	for i, rlc := range out {
-		resp.Results[i] = toResult(rlc)
+	ctx := r.Context()
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	out, err := s.extract(ctx, req)
+	if err == nil {
+		err = fault.Check(fault.ServeRespond)
+	}
+	if err != nil {
+		s.writeRequestError(w, r, ctx, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, shape(out))
 }
 
 // badRequestError marks client-side validation failures (HTTP 400).
@@ -356,28 +537,82 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, &badRequestError{fmt.Errorf("bad request body: %w", err)})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		srvErrors.Inc()
 		return false
 	}
 	return true
 }
 
-// writeError maps an extraction failure to a status code: client
-// mistakes (malformed request, bad geometry, out-of-range lookups
-// under the error policy, strict-check violations of the request's
-// own data) are 4xx; a cancelled request reports 503 (the daemon is
-// draining) and everything else 500.
-func writeError(w http.ResponseWriter, err error) {
+// retryAfterValue renders a Retry-After header value: whole seconds,
+// rounded up, floored at 1 (the header has second granularity and 0
+// would invite an immediate stampede).
+func retryAfterValue(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// writeRequestError maps a request failure to the service's status
+// contract:
+//
+//	400  malformed request, bad geometry, bad timeout_ms
+//	422  out-of-range lookup (error policy), strict-check violation
+//	429  shed by admission control            (+ Retry-After)
+//	499  client disconnected before the response
+//	503  request budget exceeded, cold-build failure, breaker open,
+//	     draining                             (+ Retry-After)
+//	500  everything else (including recovered handler panics)
+//
+// reqCtx is the context the extraction actually ran under (it carries
+// the per-request budget); r.Context() distinguishes a client that
+// hung up from a budget that fired.
+func (s *Server) writeRequestError(w http.ResponseWriter, r *http.Request, reqCtx context.Context, err error) {
 	srvErrors.Inc()
-	status := http.StatusInternalServerError
-	var bad *badRequestError
+	var (
+		status = http.StatusInternalServerError
+		retry  time.Duration
+		bad    *badRequestError
+		shed   *ShedError
+		open   *BreakerOpenError
+		fill   *FillError
+	)
 	switch {
 	case errors.As(err, &bad), errors.Is(err, core.ErrBadGeometry):
 		status = http.StatusBadRequest
 	case errors.Is(err, table.ErrOutOfRange), errors.Is(err, check.ErrViolation):
 		status = http.StatusUnprocessableEntity
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.As(err, &shed):
+		status = http.StatusTooManyRequests
+		retry = shed.RetryAfter
+		srvShed.Inc()
+	case errors.As(err, &open):
 		status = http.StatusServiceUnavailable
+		retry = open.RetryAfter
+	case errors.As(err, &fill):
+		status = http.StatusServiceUnavailable
+		retry = fill.RetryAfter
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		switch {
+		case r != nil && r.Context().Err() != nil:
+			// The client's connection context died: nobody is reading
+			// this response, but the status still lands in the access
+			// accounting.
+			status = StatusClientClosedRequest
+			srvGone.Inc()
+		case reqCtx != nil && errors.Is(reqCtx.Err(), context.DeadlineExceeded):
+			status = http.StatusServiceUnavailable
+			retry = time.Second
+			srvDeadline.Inc()
+		default:
+			status = http.StatusServiceUnavailable
+			retry = time.Second
+		}
+	}
+	if retry > 0 {
+		w.Header().Set("Retry-After", retryAfterValue(retry))
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }

@@ -246,3 +246,98 @@ fi
 
 echo "wrote $serve_out:"
 cat "$serve_out"
+
+# Overload pass: the same daemon binary restarted over the now-warm
+# cache with a deliberately small admission envelope (4 slots, queue 4,
+# 50ms queue wait), then driven at 4x its admitted concurrency with
+# heavy batches. The daemon must shed rather than collapse: the gate
+# asserts sheds > 0, no 500s (a panic under overload is a bug, a 429 is
+# the design), and admitted throughput within 15% of a non-overloaded
+# baseline measured at exactly the admission capacity. Batches are
+# large (1024 segments, ~10ms+ of vectorized lookup + JSON) so service
+# time, not client backoff, dominates the measurement. Written to
+# BENCH_overload.json; sheds/retries/timeouts are workload descriptors
+# under benchdiff.
+overload_out=BENCH_overload.json
+
+"$servedir/rlcxd" -addr 127.0.0.1:0 -cache "$servedir/cache" \
+  -max-inflight 4 -queue 4 -queue-wait 50ms \
+  >"$servedir/rlcxd2.log" 2>"$servedir/rlcxd2.err" &
+rlcxd2_pid=$!
+
+addr2=
+i=0
+while [ $i -lt 100 ]; do
+  addr2=$(awk '/listening on/ { print $4; exit }' "$servedir/rlcxd2.log" 2>/dev/null || true)
+  [ -n "$addr2" ] && break
+  if ! kill -0 "$rlcxd2_pid" 2>/dev/null; then
+    echo "bench.sh: overload rlcxd exited before listening:" >&2
+    cat "$servedir/rlcxd2.err" >&2
+    exit 1
+  fi
+  sleep 0.1
+  i=$((i + 1))
+done
+if [ -z "$addr2" ]; then
+  echo "bench.sh: overload rlcxd never printed its listen address" >&2
+  kill "$rlcxd2_pid" 2>/dev/null || true
+  exit 1
+fi
+
+# Non-overloaded baseline: concurrency == admission capacity, so no
+# request is ever queued or shed and the number is the daemon's clean
+# service rate for this workload.
+"$servedir/rlcxload" -addr "$addr2" -n 600 -c 4 -batch 1024 -warm 16 \
+  -o "$servedir/overload_base.json"
+
+# 4x the admission capacity. Shed requests retry on a tight capped
+# backoff (the 1s server hint is deliberately overridden by -retry-cap:
+# the point is to keep re-offering load) and terminal sheds are
+# tolerated — they are the mechanism under test.
+"$servedir/rlcxload" -addr "$addr2" -n 600 -c 16 -batch 1024 -warm 16 \
+  -retries 8 -retry-base 4ms -retry-cap 20ms -tolerate-errors \
+  -o "$overload_out"
+
+kill -TERM "$rlcxd2_pid"
+rc=0
+wait "$rlcxd2_pid" || rc=$?
+if [ "$rc" -ne 143 ]; then
+  echo "bench.sh: overload rlcxd exited $rc after SIGTERM, want 143" >&2
+  cat "$servedir/rlcxd2.err" >&2
+  exit 1
+fi
+
+if grep -q '"500"' "$overload_out"; then
+  echo "bench.sh: overload run produced 500s (panic under load?):" >&2
+  cat "$overload_out" >&2
+  exit 1
+fi
+if grep -qi 'panic' "$servedir/rlcxd2.err"; then
+  echo "bench.sh: rlcxd panicked under overload:" >&2
+  cat "$servedir/rlcxd2.err" >&2
+  exit 1
+fi
+
+base_rps=$(awk -F'[:,]' '/"throughput_rps"/ { print $2; exit }' "$servedir/overload_base.json")
+awk -F'[:,]' -v base="$base_rps" '
+/"sheds"/          { sheds = $2 + 0 }
+/"throughput_rps"/ { rps = $2 + 0 }
+/"p99_ns"/         { p99 = $2 + 0 }
+END {
+  if (sheds <= 0) {
+    print "bench.sh: overload run at 4x capacity shed nothing — admission control inert" > "/dev/stderr"
+    exit 1
+  }
+  if (rps < 0.85 * base) {
+    printf "bench.sh: admitted throughput %.0f rps < 85%% of non-overloaded baseline %.0f rps — the daemon collapsed instead of shedding\n", rps, base > "/dev/stderr"
+    exit 1
+  }
+  if (p99 > 2e9) {
+    printf "bench.sh: overload p99 of admitted requests %.0f ns unbounded (> 2s)\n", p99 > "/dev/stderr"
+    exit 1
+  }
+  printf "overload gate: sheds=%d, admitted rps %.0f vs baseline %.0f (%.2fx), p99 %.1fms\n", sheds, rps, base, rps / base, p99 / 1e6
+}' "$overload_out"
+
+echo "wrote $overload_out:"
+cat "$overload_out"
