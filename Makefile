@@ -33,12 +33,15 @@ roundtrip:
 # chaos runs the fault-injection matrix under the race detector:
 # injected errors/latency/panics at every instrumented point, retry
 # exhaustion, cancellation promptness and leak-freedom, cache
-# corruption/degradation, divergence guards, exit-code mapping, and the
-# daemon's overload paths (shed, deadline, breaker, drain, evict race).
+# corruption/degradation, divergence guards, exit-code mapping, the
+# daemon's overload paths (shed, deadline, breaker, drain, evict race),
+# and the checkpoint/resume drills (torn writes and bitrot at every
+# byte, kill-during-rename, SIGKILL-and-resume with bit-identity,
+# cancellation inside a checkpoint write).
 chaos:
-	$(GO) test -race -timeout 5m \
-		-run 'Fault|Chaos|Cancel|Panic|Diverge|Retry|Injected|Transient|Degrad|Sign|Exit|NonFinite|Singular|IllCondition|Validation|Breaker|Shed|Admit|Deadline|Drain|Gone|Healthz|EvictWhileFilling' \
-		./internal/fault ./internal/table ./internal/core ./internal/sim ./internal/linalg ./internal/cliobs ./internal/serve
+	$(GO) test -race -timeout 10m \
+		-run 'Fault|Chaos|Cancel|Panic|Diverge|Retry|Injected|Transient|Degrad|Sign|Exit|NonFinite|Singular|IllCondition|Validation|Breaker|Shed|Admit|Deadline|Drain|Gone|Healthz|EvictWhileFilling|Torn|Bitrot|KillDuringRename|JobKeyMismatch|KillAndResume|Resume|CheckpointAudit|CheckpointSaveFailure' \
+		./internal/fault ./internal/table ./internal/core ./internal/sim ./internal/linalg ./internal/cliobs ./internal/serve ./internal/ckpt ./internal/clocktree ./cmd/treesim
 
 # fuzz gives every native fuzz target a short randomised budget on top
 # of the committed seed corpora (which already run as plain test cases
@@ -63,8 +66,10 @@ bench:
 # cold-vs-cache-hit extractor construction numbers in BENCH_cache.json,
 # the fault/check-layer ratios, the ctx-span trace-overhead numbers in
 # BENCH_trace.json, the end-to-end daemon throughput/latency numbers in
-# BENCH_serve.json, and the overload-resilience numbers (shed instead
-# of collapse at 4x admission capacity) in BENCH_overload.json.
+# BENCH_serve.json, the overload-resilience numbers (shed instead
+# of collapse at 4x admission capacity) in BENCH_overload.json, and
+# the crash-safe million-sink tree numbers (dedup ratio, peak RSS,
+# SIGKILL+resume drill) in BENCH_tree.json.
 bench-obs:
 	./scripts/bench.sh
 
@@ -85,4 +90,4 @@ bench-check:
 	$(GO) run ./cmd/benchdiff -baseline bench/baseline -current .
 
 clean:
-	rm -f BENCH_obs.json BENCH_spline.json BENCH_cache.json BENCH_fault.json BENCH_check.json BENCH_trace.json BENCH_mmap.json BENCH_serve.json BENCH_overload.json
+	rm -f BENCH_obs.json BENCH_spline.json BENCH_cache.json BENCH_fault.json BENCH_check.json BENCH_trace.json BENCH_mmap.json BENCH_serve.json BENCH_overload.json BENCH_tree.json

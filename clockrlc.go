@@ -45,6 +45,7 @@ import (
 	"clockrlc/internal/bus"
 	"clockrlc/internal/cascade"
 	"clockrlc/internal/check"
+	"clockrlc/internal/ckpt"
 	"clockrlc/internal/clocktree"
 	"clockrlc/internal/core"
 	"clockrlc/internal/elmore"
@@ -316,11 +317,33 @@ type (
 	ClockTree = clocktree.Tree
 	// ClockSimOptions controls tree simulation.
 	ClockSimOptions = clocktree.SimOptions
+	// ClockArrivalStats is the bounded-memory arrival summary the
+	// streaming Analyze walk produces for trees too deep to hold a
+	// per-leaf arrivals slice.
+	ClockArrivalStats = clocktree.ArrivalStats
+	// ClockSkewReport is the skew with the extreme leaves named.
+	ClockSkewReport = clocktree.SkewReport
+	// ClockCheckpoint configures durable checkpoint/resume for long
+	// tree analyses (see ClockTree.OpenCheckpoint and AnalyzeCtx).
+	ClockCheckpoint = clocktree.Checkpoint
+	// CheckpointStore is the durable, job-keyed checkpoint store
+	// behind crash-safe analyses.
+	CheckpointStore = ckpt.Store
 )
+
+// ErrNoCheckpoint reports that a checkpoint store holds no valid
+// record for its job (resume degrades to a cold start).
+var ErrNoCheckpoint = ckpt.ErrNoCheckpoint
 
 // NewClockTree assembles an H-tree clock network.
 func NewClockTree(levels []ClockLevel, buf ClockBuffer, ext *Extractor) (*ClockTree, error) {
 	return clocktree.NewTree(levels, buf, ext)
+}
+
+// OpenCheckpointStore opens (creating if needed) a checkpoint store
+// under dir for an arbitrary job key.
+func OpenCheckpointStore(dir string, jobKey [32]byte) (*CheckpointStore, error) {
+	return ckpt.Open(dir, jobKey)
 }
 
 // HTreeLevels builds a halving H-tree level stack.

@@ -55,6 +55,18 @@ var skipKeys = map[string]bool{
 	"sheds":       true, // overload runs shed by design; bench.sh asserts the invariants
 	"retries":     true,
 	"timeouts":    true,
+	// Deep-tree pass descriptors: the tree shape and the stage-count
+	// split are exact properties of the workload (bench.sh asserts the
+	// dedup and memory invariants); the resumed numbers depend on where
+	// the SIGKILL happened to land, so only the derived dedup speedup
+	// and the cold wall time gate.
+	"levels":               true,
+	"leaves":               true,
+	"stages_simulated":     true,
+	"stages_deduped":       true,
+	"resume_resimulated":   true,
+	"resumed_wall_seconds": true,
+	"peak_rss_bytes":       true,
 }
 
 // higherIsBetter reports whether a larger value of the named metric is

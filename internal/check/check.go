@@ -87,6 +87,11 @@ const (
 	StageCascade Stage = "cascade"
 	// StageSim covers simulation outputs and closed-form delay bounds.
 	StageSim Stage = "sim"
+	// StageCheckpoint covers resumed long-job state: statistics
+	// restored from a checkpoint must still satisfy their own
+	// invariants (min ≤ max, finite sums, consistent counts) before the
+	// job continues accumulating onto them.
+	StageCheckpoint Stage = "checkpoint"
 )
 
 // Violation accounting. The total plus one counter per stage flow
@@ -100,6 +105,7 @@ var (
 		StageSegment:    obs.GetCounter("check.violations.segment"),
 		StageCascade:    obs.GetCounter("check.violations.cascade"),
 		StageSim:        obs.GetCounter("check.violations.sim"),
+		StageCheckpoint: obs.GetCounter("check.violations.checkpoint"),
 	}
 )
 

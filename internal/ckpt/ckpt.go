@@ -1,0 +1,302 @@
+// Package ckpt is a durable checkpoint store for long-running jobs —
+// the deep-clocktree analyses whose transient sweeps run for minutes
+// to hours and must survive a crash, an OOM kill, or a SIGKILL
+// without redoing finished work.
+//
+// The store applies the same crash-safety discipline as the table
+// cache codec (PR 3): every record is a single versioned, checksummed
+// binary blob written as temp file + fsync + rename, so a record is
+// either completely present or absent, and bit-rot or a torn write is
+// detected by the SHA-256 before any byte of the payload is trusted.
+// A checkpoint that fails validation is counted in ckpt.corrupt and
+// skipped in favour of an older generation (the store retains the
+// last two) or a clean restart — corruption can cost re-simulation,
+// never correctness.
+//
+// Records are scoped by a job key: the SHA-256 of everything that
+// determines the job's result (for clocktree analyses: tree geometry,
+// buffer model, simulation options, table cache keys). The key picks
+// the store's subdirectory AND is verified inside every record, so a
+// stale checkpoint from a different job — moved, renamed, or a
+// truncated-directory-name collision — can never resume the wrong
+// computation.
+package ckpt
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"clockrlc/internal/fault"
+	"clockrlc/internal/obs"
+)
+
+// Checkpoint accounting. saves counts durable records written,
+// corrupt counts records that existed but failed validation (torn,
+// bit-rotted, truncated, or foreign-format) and were skipped,
+// mismatches counts checksum-valid records rejected because they
+// belong to a different job key. ckpt.resumes is incremented by the
+// consumer (the clocktree walker) when restored state actually seeds
+// a run.
+var (
+	ckptSaves      = obs.GetCounter("ckpt.saves")
+	ckptCorrupt    = obs.GetCounter("ckpt.corrupt")
+	ckptMismatches = obs.GetCounter("ckpt.job_mismatch")
+	ckptIOErrs     = obs.GetCounter("ckpt.io_errors")
+)
+
+// Record layout (little-endian):
+//
+//	offset  size  field
+//	0       8     magic "RLCKPT01"
+//	8       4     u32 record version (currently 1)
+//	12      4     u32 reserved (zero)
+//	16      32    job key (SHA-256 of the job's value-determining inputs)
+//	48      8     u64 sequence number
+//	56      8     u64 payload length
+//	64      n     payload
+//	64+n    32    SHA-256 over bytes [0, 64+n)
+const (
+	magic        = "RLCKPT01"
+	version      = 1
+	headerSize   = 64
+	checksumSize = sha256.Size
+	// maxPayload bounds a record read so a corrupt length field cannot
+	// ask for an absurd allocation (64 MiB is orders of magnitude above
+	// any walker state this repo produces).
+	maxPayload = 64 << 20
+	// retain is how many checkpoint generations Save keeps on disk: the
+	// newest plus one fallback, so a record torn exactly at the moment
+	// of a crash degrades to the previous generation instead of a
+	// from-scratch restart.
+	retain = 2
+)
+
+// ErrNoCheckpoint is returned by Latest when no valid checkpoint for
+// the store's job exists (none written yet, or every generation was
+// corrupt or belonged to a different job).
+var ErrNoCheckpoint = errors.New("ckpt: no valid checkpoint")
+
+// Store writes and reads the checkpoint generations of one job. A
+// Store is not safe for concurrent Save calls (a job checkpoints from
+// its single driving goroutine); Latest is read-only and may race
+// only with another process's Save, which the atomic-rename
+// discipline makes safe.
+type Store struct {
+	dir string
+	key [32]byte
+	seq uint64
+}
+
+// Open roots a store for the given job under dir, creating the
+// job-keyed subdirectory if needed. Existing generations are scanned
+// so subsequent Saves continue the sequence rather than reusing
+// numbers.
+func Open(dir string, jobKey [32]byte) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("ckpt: store needs a directory")
+	}
+	sub := filepath.Join(dir, hex.EncodeToString(jobKey[:8]))
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	s := &Store{dir: sub, key: jobKey}
+	for _, f := range s.generations() {
+		if f.seq > s.seq {
+			s.seq = f.seq
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the job's checkpoint directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Key returns the job key the store was opened for. Consumers verify
+// it against the key of the job they are about to run, so a store
+// opened for one configuration cannot seed a different one.
+func (s *Store) Key() [32]byte { return s.key }
+
+// Seq returns the sequence number of the most recently written (or
+// scanned) generation; 0 means none.
+func (s *Store) Seq() uint64 { return s.seq }
+
+type generation struct {
+	path string
+	seq  uint64
+}
+
+// generations lists this job's on-disk checkpoint files, newest
+// first. Files whose names do not parse (including rename temp files
+// left by a kill mid-save) are ignored.
+func (s *Store) generations() []generation {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var gens []generation
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".ck") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".ck"), 10, 64)
+		if err != nil {
+			continue
+		}
+		gens = append(gens, generation{path: filepath.Join(s.dir, name), seq: seq})
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].seq > gens[j].seq })
+	return gens
+}
+
+// encode builds the full record bytes for a payload at seq.
+func (s *Store) encode(seq uint64, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload)+checksumSize)
+	copy(buf[0:8], magic)
+	binary.LittleEndian.PutUint32(buf[8:12], version)
+	copy(buf[16:48], s.key[:])
+	binary.LittleEndian.PutUint64(buf[48:56], seq)
+	binary.LittleEndian.PutUint64(buf[56:64], uint64(len(payload)))
+	copy(buf[headerSize:], payload)
+	sum := sha256.Sum256(buf[:headerSize+len(payload)])
+	copy(buf[headerSize+len(payload):], sum[:])
+	return buf
+}
+
+// Save durably writes payload as the next checkpoint generation and
+// prunes generations beyond the retention window. The write is
+// temp + fsync + rename: a crash at any instant leaves either the old
+// generation set or the old set plus a complete new record — never a
+// half-written record under a live name. Returns the new sequence
+// number.
+func (s *Store) Save(ctx context.Context, payload []byte) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if err := fault.Check(fault.CkptWrite); err != nil {
+		return 0, fmt.Errorf("ckpt: save: %w", err)
+	}
+	seq := s.seq + 1
+	data := s.encode(seq, payload)
+	final := filepath.Join(s.dir, fmt.Sprintf("ckpt-%d.ck", seq))
+	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		ckptIOErrs.Inc()
+		return 0, fmt.Errorf("ckpt: save: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		ckptIOErrs.Inc()
+		return 0, fmt.Errorf("ckpt: save: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		ckptIOErrs.Inc()
+		return 0, fmt.Errorf("ckpt: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		ckptIOErrs.Inc()
+		return 0, fmt.Errorf("ckpt: save: %w", err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		ckptIOErrs.Inc()
+		return 0, fmt.Errorf("ckpt: save: %w", err)
+	}
+	s.seq = seq
+	ckptSaves.Inc()
+	// Prune beyond the retention window. Best-effort: a failed remove
+	// only leaves an extra stale generation behind.
+	gens := s.generations()
+	for i := retain; i < len(gens); i++ {
+		os.Remove(gens[i].path)
+	}
+	return seq, nil
+}
+
+// Latest returns the payload and sequence number of the newest valid
+// checkpoint for this job. Generations that fail to read or validate
+// are counted in ckpt.corrupt and skipped; checksum-valid records
+// carrying a different job key are counted in ckpt.job_mismatch and
+// skipped. When nothing valid remains it returns ErrNoCheckpoint —
+// the caller restarts cleanly.
+func (s *Store) Latest(ctx context.Context) ([]byte, uint64, error) {
+	for _, g := range s.generations() {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		payload, seq, err := s.readRecord(g)
+		if err != nil {
+			if errors.Is(err, errJobMismatch) {
+				ckptMismatches.Inc()
+			} else {
+				ckptCorrupt.Inc()
+			}
+			continue
+		}
+		return payload, seq, nil
+	}
+	return nil, 0, ErrNoCheckpoint
+}
+
+var errJobMismatch = errors.New("ckpt: record belongs to a different job")
+
+// readRecord loads and fully validates one generation.
+func (s *Store) readRecord(g generation) ([]byte, uint64, error) {
+	if err := fault.Check(fault.CkptRead); err != nil {
+		return nil, 0, err
+	}
+	data, err := os.ReadFile(g.path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) < headerSize+checksumSize {
+		return nil, 0, fmt.Errorf("ckpt: %s: truncated (%d bytes)", g.path, len(data))
+	}
+	if string(data[0:8]) != magic {
+		return nil, 0, fmt.Errorf("ckpt: %s: bad magic", g.path)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != version {
+		return nil, 0, fmt.Errorf("ckpt: %s: unsupported version %d", g.path, v)
+	}
+	n := binary.LittleEndian.Uint64(data[56:64])
+	if n > maxPayload || headerSize+n+checksumSize != uint64(len(data)) {
+		return nil, 0, fmt.Errorf("ckpt: %s: payload length %d inconsistent with file size %d", g.path, n, len(data))
+	}
+	body := data[:headerSize+n]
+	want := data[headerSize+n:]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], want) {
+		return nil, 0, fmt.Errorf("ckpt: %s: checksum mismatch", g.path)
+	}
+	// Only after the checksum holds is any field trusted — including
+	// the job key, which gates resuming at all.
+	if !bytes.Equal(data[16:48], s.key[:]) {
+		return nil, 0, errJobMismatch
+	}
+	seq := binary.LittleEndian.Uint64(data[48:56])
+	if seq != g.seq {
+		return nil, 0, fmt.Errorf("ckpt: %s: sequence %d does not match filename", g.path, seq)
+	}
+	return body[headerSize:], seq, nil
+}
+
+// Stats reports the process-wide checkpoint counters (saves, corrupt
+// records skipped, job-key mismatches skipped).
+func Stats() (saves, corrupt, mismatches int64) {
+	return ckptSaves.Value(), ckptCorrupt.Value(), ckptMismatches.Value()
+}

@@ -1,0 +1,328 @@
+package ckpt
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clockrlc/internal/fault"
+)
+
+func testKey(b byte) [32]byte {
+	return sha256.Sum256([]byte{b})
+}
+
+func openStore(t *testing.T, key byte) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), testKey(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSaveLatestRoundTrip(t *testing.T) {
+	s := openStore(t, 1)
+	ctx := context.Background()
+	if _, _, err := s.Latest(ctx); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty store: want ErrNoCheckpoint, got %v", err)
+	}
+	for i, payload := range [][]byte{[]byte("alpha"), []byte("beta"), {}, []byte("delta")} {
+		seq, err := s.Save(ctx, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("save %d: seq = %d", i, seq)
+		}
+		got, gotSeq, err := s.Latest(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotSeq != seq || !bytes.Equal(got, payload) {
+			t.Fatalf("latest after save %d: seq %d payload %q", i, gotSeq, got)
+		}
+	}
+}
+
+func TestRetentionPrunesOldGenerations(t *testing.T) {
+	s := openStore(t, 1)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := s.Save(ctx, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens := s.generations()
+	if len(gens) != retain {
+		t.Fatalf("kept %d generations, want %d", len(gens), retain)
+	}
+	if gens[0].seq != 5 || gens[1].seq != 4 {
+		t.Fatalf("kept generations %d, %d; want 5, 4", gens[0].seq, gens[1].seq)
+	}
+}
+
+func TestSequenceContinuesAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(1)
+	ctx := context.Background()
+	s1, err := Open(dir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Save(ctx, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Save(ctx, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := s2.Save(ctx, []byte("three"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 {
+		t.Fatalf("reopened store continued at seq %d, want 3", seq)
+	}
+	got, _, err := s2.Latest(ctx)
+	if err != nil || string(got) != "three" {
+		t.Fatalf("latest = %q, %v", got, err)
+	}
+}
+
+// newest returns the newest generation's path.
+func newest(t *testing.T, s *Store) string {
+	t.Helper()
+	gens := s.generations()
+	if len(gens) == 0 {
+		t.Fatal("no generations on disk")
+	}
+	return gens[0].path
+}
+
+// TestTornWriteAtEveryBoundary truncates the newest record at every
+// byte offset and asserts each torn prefix is detected (counted in
+// ckpt.corrupt) and degrades to the previous generation — the crash
+// model for a record that somehow landed half-written.
+func TestTornWriteAtEveryBoundary(t *testing.T) {
+	s := openStore(t, 1)
+	ctx := context.Background()
+	if _, err := s.Save(ctx, []byte("older-good")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save(ctx, []byte("newest")); err != nil {
+		t.Fatal(err)
+	}
+	path := newest(t, s)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(whole); cut++ {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		before := ckptCorrupt.Value()
+		got, seq, err := s.Latest(ctx)
+		if err != nil {
+			t.Fatalf("cut %d: no fallback: %v", cut, err)
+		}
+		if string(got) != "older-good" || seq != 1 {
+			t.Fatalf("cut %d: resumed %q (seq %d), want the older generation", cut, got, seq)
+		}
+		if ckptCorrupt.Value() != before+1 {
+			t.Fatalf("cut %d: corrupt counter did not advance", cut)
+		}
+	}
+}
+
+// TestBitrotEveryByte flips each byte of the newest record and
+// asserts detection + degradation, then restores it.
+func TestBitrotEveryByte(t *testing.T) {
+	s := openStore(t, 1)
+	ctx := context.Background()
+	if _, err := s.Save(ctx, []byte("older-good")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save(ctx, []byte("newest-payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := newest(t, s)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(whole); i++ {
+		rot := append([]byte(nil), whole...)
+		rot[i] ^= 0x40
+		if err := os.WriteFile(path, rot, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		before := ckptCorrupt.Value() + ckptMismatches.Value()
+		got, _, err := s.Latest(ctx)
+		if err != nil {
+			t.Fatalf("byte %d: no fallback: %v", i, err)
+		}
+		if string(got) != "older-good" {
+			t.Fatalf("byte %d: flipped record still resumed as %q", i, got)
+		}
+		if ckptCorrupt.Value()+ckptMismatches.Value() != before+1 {
+			t.Fatalf("byte %d: no counter advanced for the flipped record", i)
+		}
+	}
+	if err := os.WriteFile(path, whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := s.Latest(ctx); err != nil || string(got) != "newest-payload" {
+		t.Fatalf("restored record did not resume: %q, %v", got, err)
+	}
+}
+
+// TestKillDuringRenameLeavesTempIgnored models a SIGKILL between the
+// temp-file write and the rename: the leftover temp file must be
+// ignored and the previous generation must still resume. A fresh Save
+// afterwards must work.
+func TestKillDuringRenameLeavesTempIgnored(t *testing.T) {
+	s := openStore(t, 1)
+	ctx := context.Background()
+	if _, err := s.Save(ctx, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	// A complete record that never got renamed...
+	orphan := s.encode(99, []byte("orphan"))
+	if err := os.WriteFile(filepath.Join(s.dir, "tmp-123456"), orphan, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// ...and a half-written one.
+	if err := os.WriteFile(filepath.Join(s.dir, "tmp-654321"), orphan[:20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, seq, err := s.Latest(ctx)
+	if err != nil || string(got) != "good" || seq != 1 {
+		t.Fatalf("latest with temp litter = %q (seq %d), %v", got, seq, err)
+	}
+	if seq2, err := s.Save(ctx, []byte("after")); err != nil || seq2 != 2 {
+		t.Fatalf("save after litter: seq %d, %v", seq2, err)
+	}
+}
+
+// TestJobKeyMismatchNeverResumes moves a checksum-valid record from a
+// different job into this job's directory (the stale-checkpoint
+// model) and asserts it is skipped — counted as a mismatch, not
+// corruption — rather than resumed.
+func TestJobKeyMismatchNeverResumes(t *testing.T) {
+	dir := t.TempDir()
+	other, err := Open(dir, testKey(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := other.Save(ctx, []byte("foreign-state")); err != nil {
+		t.Fatal(err)
+	}
+	mine, err := Open(dir, testKey(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mine.Save(ctx, []byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	// Plant the foreign record as this job's newest generation.
+	foreign, err := os.ReadFile(newest(t, other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(mine.dir, "ckpt-2.ck"), foreign, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Its internal seq (1) won't match the planted filename either, but
+	// the job key must be what rejects it: rewrite with matching seq.
+	reSeq := other.encode(2, []byte("foreign-state"))
+	if err := os.WriteFile(filepath.Join(mine.dir, "ckpt-2.ck"), reSeq, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := ckptMismatches.Value()
+	got, seq, err := mine.Latest(ctx)
+	if err != nil || string(got) != "mine" || seq != 1 {
+		t.Fatalf("latest = %q (seq %d), %v; foreign record must not resume", got, seq, err)
+	}
+	if ckptMismatches.Value() != before+1 {
+		t.Fatal("job mismatch not counted")
+	}
+}
+
+func TestInjectedWriteErrorKeepsOldGeneration(t *testing.T) {
+	s := openStore(t, 1)
+	ctx := context.Background()
+	if _, err := s.Save(ctx, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	fault.Register(fault.NewInjector(1, fault.Rule{
+		Point: fault.CkptWrite, Mode: fault.ModeError, Prob: 1,
+	}))
+	defer fault.Reset()
+	if _, err := s.Save(ctx, []byte("doomed")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	fault.Reset()
+	got, seq, err := s.Latest(ctx)
+	if err != nil || string(got) != "good" || seq != 1 {
+		t.Fatalf("after failed save: latest = %q (seq %d), %v", got, seq, err)
+	}
+	if seq2, err := s.Save(ctx, []byte("recovered")); err != nil || seq2 != 2 {
+		t.Fatalf("save after injected failure: seq %d, %v", seq2, err)
+	}
+}
+
+func TestInjectedReadErrorDegradesToOlder(t *testing.T) {
+	s := openStore(t, 1)
+	ctx := context.Background()
+	if _, err := s.Save(ctx, []byte("older")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save(ctx, []byte("newest")); err != nil {
+		t.Fatal(err)
+	}
+	// First read (the newest generation) errors; the fallback read
+	// succeeds.
+	fault.Register(fault.NewInjector(1, fault.Rule{
+		Point: fault.CkptRead, Mode: fault.ModeError, Nth: 1,
+	}))
+	defer fault.Reset()
+	before := ckptCorrupt.Value()
+	got, seq, err := s.Latest(ctx)
+	if err != nil || string(got) != "older" || seq != 1 {
+		t.Fatalf("latest under injected read error = %q (seq %d), %v", got, seq, err)
+	}
+	if ckptCorrupt.Value() != before+1 {
+		t.Fatal("unreadable generation not counted")
+	}
+}
+
+func TestCancelledContextStopsStore(t *testing.T) {
+	s := openStore(t, 1)
+	if _, err := s.Save(context.Background(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Save(ctx, []byte("y")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Save on cancelled ctx: %v", err)
+	}
+	if _, _, err := s.Latest(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Latest on cancelled ctx: %v", err)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open("", testKey(1)); err == nil {
+		t.Error("accepted empty directory")
+	}
+}

@@ -122,9 +122,25 @@ type SimOptions struct {
 	// everywhere.
 	Scale map[int][3]float64
 	// LeafLoadScale optionally scales the load capacitance of
-	// individual leaves (keyed by leaf index) to model sink load
-	// imbalance.
+	// individual leaves to model sink load imbalance. Keys are leaf
+	// indices in H-order — the order Arrivals returns them: leaf
+	// stages left to right across the last level, four sinks per
+	// stage, so leaves 4k..4k+3 hang off the k-th leaf stage. Absent
+	// keys mean nominal (×1) load.
 	LeafLoadScale map[int]float64
+	// NoStageDedup forces the legacy exact walk: every stage instance
+	// runs its own transient even when an identical instance (same
+	// level, scale and sink loads) has already been simulated. The
+	// default memoized walk is bit-identical — identical inputs yield
+	// identical transients — so this exists for pinning tests and
+	// paranoia runs, at O(4^levels) instead of O(distinct stages)
+	// transient cost.
+	NoStageDedup bool
+	// SampleCap bounds the reservoir of raw arrival samples Analyze
+	// keeps alongside the running statistics (0 = none). The reservoir
+	// is deterministic: the same tree and options select the same
+	// sample at any checkpoint/resume schedule.
+	SampleCap int
 }
 
 func (o SimOptions) withDefaults(buf Buffer) SimOptions {
@@ -140,10 +156,22 @@ func (o SimOptions) withDefaults(buf Buffer) SimOptions {
 	return o
 }
 
-// stageDelays simulates one buffer stage: the driver at the H centre,
-// two trunk ladders, four arm ladders, four sink loads. It returns
-// the four sink 50 % arrival times measured from the stage's launch.
-func (t *Tree) stageDelays(ctx context.Context, levelIdx, stageID int, opts SimOptions, leafBase int, isLeaf bool) ([4]float64, error) {
+// nominalScale and nominalLoads are the multipliers an unperturbed
+// stage carries. Multiplying by exactly 1.0 is a bitwise no-op, so a
+// stage with these multipliers simulates bit-identically to the
+// pre-memoization code path that skipped the multiply entirely.
+var (
+	nominalScale = [3]float64{1, 1, 1}
+	nominalLoads = [4]float64{1, 1, 1, 1}
+)
+
+// simulateStage runs one buffer stage's transient: the driver at the
+// H centre, two trunk ladders, four arm ladders, four sink loads. It
+// returns the four sink 50 % arrival times measured from the stage's
+// launch. scale multiplies the extracted R/C/L of every wire in the
+// stage; loads multiplies the four sink capacitances (1s for an
+// internal stage, whose sinks are the next level's buffer inputs).
+func (t *Tree) simulateStage(ctx context.Context, levelIdx int, stageID int64, opts SimOptions, scale [3]float64, loads [4]float64) ([4]float64, error) {
 	var delays [4]float64
 	ctx, sp := obs.StartCtx(ctx, "clocktree.stage")
 	defer sp.End()
@@ -168,11 +196,9 @@ func (t *Tree) stageDelays(ctx context.Context, levelIdx, stageID int, opts SimO
 		if err != nil {
 			return rlc, err
 		}
-		if sc, ok := opts.Scale[stageID]; ok {
-			rlc.R *= sc[0]
-			rlc.C *= sc[1]
-			rlc.L *= sc[2]
-		}
+		rlc.R *= scale[0]
+		rlc.C *= scale[1]
+		rlc.L *= scale[2]
 		return rlc, nil
 	}
 	trunk, err := extract(lv.TrunkLen)
@@ -195,13 +221,7 @@ func (t *Tree) stageDelays(ctx context.Context, levelIdx, stageID int, opts SimO
 		if _, err := nl.AddLadder("a"+s, splits[i], s, arm, opts.Sections); err != nil {
 			return delays, err
 		}
-		load := t.Buffer.InputCap
-		if isLeaf {
-			if sc, ok := opts.LeafLoadScale[leafBase+i]; ok {
-				load *= sc
-			}
-		}
-		nl.AddC("c"+s, s, netlist.Ground, load)
+		nl.AddC("c"+s, s, netlist.Ground, t.Buffer.InputCap*loads[i])
 	}
 	res, err := sim.TransientCtx(ctx, nl, opts.TimeStep, opts.Horizon, sinks)
 	if err != nil {
@@ -224,66 +244,84 @@ func (t *Tree) stageDelays(ctx context.Context, levelIdx, stageID int, opts SimO
 
 // Arrivals simulates the full tree and returns the clock arrival time
 // at every leaf (4^levels leaves, indexed in H-order), including
-// buffer intrinsic delays. Stage instance ids are assigned in BFS
-// order starting at 0 for the root stage; ids are stable for use with
-// SimOptions.RCScale.
+// buffer intrinsic delays. Stage instance ids are assigned in
+// level-order (BFS) starting at 0 for the root stage — stage k's
+// children are 4k+1..4k+4 — and are stable for use with
+// SimOptions.Scale. For trees too deep to materialise 4^levels
+// float64s, use Analyze, which streams the same walk into bounded
+// statistics.
 func (t *Tree) Arrivals(opts SimOptions) ([]float64, error) {
 	return t.ArrivalsCtx(context.Background(), opts)
 }
 
 // ArrivalsCtx is Arrivals honouring cancellation (each stage's
-// transient polls ctx) with context-parented tracing: every
-// clocktree.stage span — and the extraction and transient spans
-// inside it — parents under the arrivals span.
+// transient polls ctx, and the walk itself polls between stages) with
+// context-parented tracing: every clocktree.stage span — and the
+// extraction and transient spans inside it — parents under the
+// arrivals span. Identical stage instances share one simulated
+// transient (see Analyze); results are bit-identical to the exact
+// per-instance walk.
 func (t *Tree) ArrivalsCtx(ctx context.Context, opts SimOptions) ([]float64, error) {
-	ctx, sp := obs.StartCtx(ctx, "clocktree.arrivals")
-	defer sp.End()
-	sp.SetAttr("levels", len(t.Levels))
-	opts = opts.withDefaults(t.Buffer)
-	type job struct {
-		level   int
-		arrival float64
-	}
-	frontier := []job{{0, t.Buffer.IntrinsicDelay}}
-	stageID := 0
-	nLeaves := 1
-	for range t.Levels {
-		nLeaves *= 4
-	}
-	leafBase := 0
-	var arrivals []float64
-	for len(frontier) > 0 {
-		cur := frontier[0]
-		frontier = frontier[1:]
-		isLeaf := cur.level == len(t.Levels)-1
-		d, err := t.stageDelays(ctx, cur.level, stageID, opts, leafBase, isLeaf)
-		if err != nil {
-			return nil, err
-		}
-		stageID++
-		for i := 0; i < 4; i++ {
-			at := cur.arrival + d[i]
-			if isLeaf {
-				arrivals = append(arrivals, at)
-				leafBase++
-			} else {
-				frontier = append(frontier, job{cur.level + 1, at + t.Buffer.IntrinsicDelay})
-			}
-		}
-	}
-	if len(arrivals) != nLeaves {
-		return nil, fmt.Errorf("clocktree: produced %d arrivals, expected %d", len(arrivals), nLeaves)
-	}
-	treeLeaves.Add(int64(nLeaves))
-	return arrivals, nil
+	_, arrivals, err := t.analyzeStream(ctx, opts, nil, true)
+	return arrivals, err
 }
 
-// Skew runs Arrivals and reduces to the skew (max − min arrival).
+// Analyze simulates the full tree as a streaming walk and returns
+// bounded arrival statistics instead of the 4^levels arrivals slice:
+// min/max (with leaf indices), sum/sum-of-squares, a fixed-size log
+// histogram and an optional bounded sample reservoir. Identical stage
+// instances — same level, scale perturbation and sink loads — are
+// simulated once and memoized, so a nominal H-tree costs O(levels)
+// transients instead of O(4^levels): the million-sink tree ROADMAP
+// item 1 asks for is ~10 transients plus arithmetic.
+func (t *Tree) Analyze(opts SimOptions) (*ArrivalStats, error) {
+	return t.AnalyzeCtx(context.Background(), opts, nil)
+}
+
+// AnalyzeCtx is Analyze honouring cancellation and, when ck is
+// non-nil, durably checkpointing the walk so a crash, OOM kill or
+// SIGKILL resumes instead of restarting — see Checkpoint.
+func (t *Tree) AnalyzeCtx(ctx context.Context, opts SimOptions, ck *Checkpoint) (*ArrivalStats, error) {
+	stats, _, err := t.analyzeStream(ctx, opts, ck, false)
+	return stats, err
+}
+
+// SkewReport names the leaves that set a tree's skew, so a
+// large-tree run can point at the offending sink paths instead of
+// reporting a bare number.
+type SkewReport struct {
+	// Skew is max − min arrival.
+	Skew float64
+	// MinArrival/MaxArrival are the extreme arrival times in seconds.
+	MinArrival, MaxArrival float64
+	// MinLeaf/MaxLeaf are the H-order indices of the earliest and
+	// latest leaves (first occurrence on ties, matching sim.Skew).
+	MinLeaf, MaxLeaf int64
+	// Leaves is the leaf count the report covers.
+	Leaves int64
+}
+
+// Skew runs the tree and reduces to the skew (max − min arrival).
 func (t *Tree) Skew(opts SimOptions) (float64, error) {
-	arr, err := t.Arrivals(opts)
+	rep, err := t.SkewReport(opts)
 	if err != nil {
 		return 0, err
 	}
-	s, _, _ := sim.Skew(arr)
-	return s, nil
+	return rep.Skew, nil
+}
+
+// SkewReport runs the tree (streaming; no full arrivals slice) and
+// returns the skew together with the extreme arrivals and the leaf
+// indices that set them.
+func (t *Tree) SkewReport(opts SimOptions) (SkewReport, error) {
+	return t.SkewReportCtx(context.Background(), opts)
+}
+
+// SkewReportCtx is SkewReport honouring cancellation.
+func (t *Tree) SkewReportCtx(ctx context.Context, opts SimOptions) (SkewReport, error) {
+	stats, err := t.AnalyzeCtx(ctx, opts, nil)
+	if err != nil {
+		return SkewReport{}, err
+	}
+	return stats.SkewReport(), nil
 }

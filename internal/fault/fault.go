@@ -58,6 +58,14 @@ const (
 	// ServeRespond guards response encoding in the daemon's handlers;
 	// panic mode here exercises the handler-wrapper recovery.
 	ServeRespond Point = "serve.respond"
+	// CkptWrite guards persisting a long-job checkpoint record; an
+	// injected error must leave the previous checkpoint generation
+	// intact and the job running.
+	CkptWrite Point = "ckpt.write"
+	// CkptRead guards loading a checkpoint record on resume; an
+	// injected error degrades to an older generation or a clean
+	// restart, never a wrong answer.
+	CkptRead Point = "ckpt.read"
 )
 
 // Mode selects what a firing rule does to the call.

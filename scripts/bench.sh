@@ -341,3 +341,117 @@ END {
 
 echo "wrote $overload_out:"
 cat "$overload_out"
+
+# Deep-tree pass: the crash-safe million-sink analysis. A 10-level
+# H-tree (1,048,576 sinks) is analysed cold with the streaming
+# memoized walk — the gate asserts >= 99.9% of stage instances dedup
+# to memo hits and that peak RSS stays inside the memory budget (no
+# 4^levels arrivals slice resident). Then the SIGKILL drill: a
+# dedup-defeating run (distinct leaf loads) is killed once two
+# checkpoint generations exist, and the resumed run must reproduce the
+# cold skew bit for bit while re-simulating strictly fewer stages.
+# Written to BENCH_tree.json.
+tree_out=BENCH_tree.json
+
+treedir=$(mktemp -d)
+trap 'rm -rf "$servedir" "$treedir"' EXIT
+go build -o "$treedir/treesim" ./cmd/treesim
+tcache="$treedir/cache"
+
+# tree_stat FILE KEY pulls one k=v field off the machine stats line.
+tree_stat() {
+  awk -v key="$2" '/^stats mode=rlc/ {
+    for (i = 2; i <= NF; i++) { n = split($i, kv, "="); if (n == 2 && kv[1] == key) print kv[2] }
+  }' "$1"
+}
+
+# Cold million-sink run (builds the table cache on first use; clamp
+# keeps the sub-100µm bottom-level segments physical).
+"$treedir/treesim" -levels 10 -mode rlc -cache "$tcache" -lookup-policy clamp \
+  >"$treedir/cold.out" 2>"$treedir/cold.err"
+cat "$treedir/cold.out"
+
+cold_leaves=$(tree_stat "$treedir/cold.out" leaves)
+cold_sim=$(tree_stat "$treedir/cold.out" simulated)
+cold_dedup=$(tree_stat "$treedir/cold.out" deduped)
+cold_wall=$(tree_stat "$treedir/cold.out" wall_s)
+cold_rss=$(tree_stat "$treedir/cold.out" peak_rss_bytes)
+
+if [ "$cold_leaves" != "1048576" ]; then
+  echo "bench.sh: deep tree analysed $cold_leaves leaves, want 1048576" >&2
+  exit 1
+fi
+awk -v sim="$cold_sim" -v dedup="$cold_dedup" -v rss="$cold_rss" 'BEGIN {
+  ratio = dedup / (sim + dedup)
+  if (ratio < 0.999) {
+    printf "bench.sh: only %.4f%% of stage instances deduped (want >= 99.9%%)\n", ratio * 100 > "/dev/stderr"
+    exit 1
+  }
+  if (rss <= 0 || rss > 2147483648) {
+    printf "bench.sh: million-sink peak RSS %d bytes outside the 2 GiB budget\n", rss > "/dev/stderr"
+    exit 1
+  }
+}'
+
+# SIGKILL drill. Distinct loads on the first 64 leaves defeat dedup
+# enough (26 real transients) to leave a wide kill window.
+drill="-levels 10 -mode rlc -imbalance-spread 64 -cache $tcache -lookup-policy clamp"
+"$treedir/treesim" $drill >"$treedir/ref.out" 2>&1
+ref_skew=$(tree_stat "$treedir/ref.out" skew_s)
+ref_sims=$(tree_stat "$treedir/ref.out" sims_this_run)
+
+killck="$treedir/ck-kill"
+"$treedir/treesim" $drill -checkpoint "$killck" -checkpoint-stages 1 \
+  >"$treedir/kill.out" 2>&1 &
+victim=$!
+i=0
+while [ "$(ls "$killck"/*/ckpt-*.ck 2>/dev/null | wc -l)" -lt 2 ]; do
+  if ! kill -0 "$victim" 2>/dev/null; then
+    echo "bench.sh: kill-drill run finished before SIGKILL; raise its workload" >&2
+    exit 1
+  fi
+  i=$((i + 1))
+  if [ $i -gt 6000 ]; then
+    echo "bench.sh: no two checkpoint generations appeared" >&2
+    kill -9 "$victim" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.01
+done
+kill -9 "$victim"
+rc=0
+wait "$victim" || rc=$?
+if [ "$rc" -ne 137 ]; then
+  echo "bench.sh: kill-drill run exited $rc, want 137 (SIGKILL)" >&2
+  exit 1
+fi
+
+"$treedir/treesim" $drill -checkpoint "$killck" -checkpoint-stages 1 -resume \
+  >"$treedir/resume.out" 2>&1
+cat "$treedir/resume.out"
+res_skew=$(tree_stat "$treedir/resume.out" skew_s)
+res_sims=$(tree_stat "$treedir/resume.out" sims_this_run)
+res_seq=$(tree_stat "$treedir/resume.out" resumed_seq)
+res_wall=$(tree_stat "$treedir/resume.out" wall_s)
+
+if [ "$res_skew" != "$ref_skew" ]; then
+  echo "bench.sh: resumed skew $res_skew != cold skew $ref_skew (must be bit-identical)" >&2
+  exit 1
+fi
+if [ "$res_seq" -lt 1 ]; then
+  echo "bench.sh: resumed run reports resumed_seq=$res_seq" >&2
+  exit 1
+fi
+if [ "$res_sims" -ge "$ref_sims" ]; then
+  echo "bench.sh: resumed run re-simulated $res_sims stages, cold run needed $ref_sims" >&2
+  exit 1
+fi
+echo "kill drill: resumed from seq $res_seq, re-simulated $res_sims of $ref_sims stages, skew bit-identical"
+
+awk -v sim="$cold_sim" -v dedup="$cold_dedup" -v wall="$cold_wall" -v rss="$cold_rss" \
+    -v rsims="$res_sims" -v rwall="$res_wall" 'BEGIN {
+  printf "{\n  \"levels\": 10,\n  \"leaves\": 1048576,\n  \"stages_simulated\": %d,\n  \"stages_deduped\": %d,\n  \"stage_dedup_speedup\": %.1f,\n  \"cold_wall_seconds\": %s,\n  \"resumed_wall_seconds\": %s,\n  \"resume_resimulated\": %d,\n  \"peak_rss_bytes\": %d\n}\n", sim, dedup, (sim + dedup) / sim, wall, rwall, rsims, rss
+}' >"$tree_out"
+
+echo "wrote $tree_out:"
+cat "$tree_out"
